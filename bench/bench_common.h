@@ -1,0 +1,29 @@
+// Shared helpers for the benchmark/experiment binaries. Each binary prints
+// the table/figure it regenerates (paper claim vs measured) before running
+// its google-benchmark timings, so `./bench_x` reproduces the experiment
+// end to end.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void print_row_rule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// "PASS"/"FAIL" marker used in the printed tables.
+inline const char* mark(bool ok) { return ok ? "ok " : "FAIL"; }
+
+}  // namespace scn::bench

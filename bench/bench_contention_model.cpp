@@ -1,0 +1,76 @@
+// Analytical companion to the family trade-off (E7): the alpha-beta
+// contention model predicts, for each family member, latency as a function
+// of concurrency — and therefore the crossover where narrow-deep beats
+// wide-shallow. This regenerates the Felten-LaMarca-Ladner-style
+// "intermediate balancer width wins" curve without needing a many-core
+// host.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/family.h"
+#include "perf/contention_model.h"
+
+namespace {
+
+using namespace scn;
+
+constexpr double kAlpha = 1.0;   // per-hop base cost
+constexpr double kBeta = 64.0;   // serialization cost of a contended word
+
+void print_table() {
+  bench::print_header(
+      "Contention-model predictions at width 64 (alpha=1, beta=64)",
+      "predicted latency = hops*alpha + (T-1)*hottest*beta; intermediate "
+      "balancer widths minimize it at moderate concurrency");
+  const auto members = enumerate_family(64, NetworkKind::kK);
+  std::printf("%-22s %7s %9s |", "member", "hops", "hottest");
+  for (const double t : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+    std::printf(" T=%-6.0f", t);
+  }
+  std::printf("\n");
+  bench::print_row_rule();
+  for (const auto& m : members) {
+    const ContentionEstimate est = estimate_contention(m.network);
+    std::printf("%-22s %7.1f %9.4f |", m.label().c_str(), est.hops_per_token,
+                est.hottest_gate_fraction);
+    for (const double t : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+      std::printf(" %-8.0f", est.predicted_latency(t, kAlpha, kBeta));
+    }
+    std::printf("\n");
+  }
+  // Winner per concurrency level.
+  std::printf("\nbest member per concurrency: ");
+  for (const double t : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (estimate_contention(members[i].network)
+              .predicted_latency(t, kAlpha, kBeta) <
+          estimate_contention(members[best].network)
+              .predicted_latency(t, kAlpha, kBeta)) {
+        best = i;
+      }
+    }
+    std::printf("T=%.0f:%s  ", t, members[best].label().c_str());
+  }
+  std::printf("\n\n");
+}
+
+void BM_EstimateContention(benchmark::State& state) {
+  const auto members = enumerate_family(64, NetworkKind::kK);
+  const auto& net =
+      members[static_cast<std::size_t>(state.range(0)) % members.size()]
+          .network;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_contention(net).hops_per_token);
+  }
+}
+BENCHMARK(BM_EstimateContention)->Arg(0)->Arg(3)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

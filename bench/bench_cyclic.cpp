@@ -1,0 +1,73 @@
+// Acyclic vs cyclic arbitrary width (§2 vs this paper): the
+// Aharonson-Attiya feedback adaptation pays recirculation passes; the L
+// construction is one fixed-depth pass. Table: per-width mean base-network
+// traversals per token for the cyclic scheme vs depth of the acyclic L.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "baseline/bitonic.h"
+#include "baseline/cyclic_adapter.h"
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/l_network.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header(
+      "Acyclic (this paper) vs cyclic (related work) at arbitrary widths",
+      "the cyclic scheme recirculates tokens through a width-2^k bitonic "
+      "network; L counts in one bounded-depth pass");
+  std::printf("%5s | %18s %14s | %12s %9s\n", "w", "cyclic base",
+              "passes/token", "L factors", "L depth");
+  bench::print_row_rule();
+  std::mt19937_64 rng(3);
+  for (const std::size_t w : {3u, 5u, 6u, 7u, 11u, 13u, 24u, 30u}) {
+    std::size_t k = 0;
+    while ((std::size_t{1} << k) < w) ++k;
+    const Network base = make_bitonic_network(k);
+    CyclicCountingAdapter adapter(base, w);
+    std::uniform_int_distribution<std::size_t> wire(0, w - 1);
+    for (int i = 0; i < 3000; ++i) {
+      adapter.traverse(static_cast<Wire>(wire(rng)));
+    }
+    const double passes = static_cast<double>(adapter.total_passes()) /
+                          static_cast<double>(adapter.total_tokens());
+    const auto factors = balanced_factorization(w, 8);
+    const Network l = make_l_network(factors);
+    std::printf("%5zu | bitonic%-4zu depth %2zu %14.3f | %12s %9u\n", w,
+                std::size_t{1} << k, bitonic_depth_formula(k), passes,
+                format_factors(factors).c_str(), l.depth());
+  }
+  std::printf("\n(passes/token > 1 is pure overhead the acyclic family "
+              "never pays; worse, recirculation makes latency unbounded "
+              "in adversarial schedules)\n\n");
+}
+
+void BM_CyclicTraverse(benchmark::State& state) {
+  const std::size_t w = static_cast<std::size_t>(state.range(0));
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < w) ++k;
+  const Network base = make_bitonic_network(k);
+  CyclicCountingAdapter adapter(base, w);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::size_t> wire(0, w - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adapter.traverse(static_cast<Wire>(wire(rng))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CyclicTraverse)->Arg(7)->Arg(13)->Arg(30);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

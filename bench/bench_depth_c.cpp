@@ -1,0 +1,64 @@
+// E1 — Proposition 1: depth(C) = (n-1) d + ((n-1)(n-2)/2) depth(S) for a
+// generic base of depth d. Instantiates the generic construction with bases
+// of several depths and checks the recurrence, then times construction.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/counting_network.h"
+#include "core/factorization.h"
+
+namespace {
+
+using namespace scn;
+
+/// A base C(p, q) of configurable depth: `d` stacked pq-balancers.
+BaseFactory stacked_base(std::size_t d) {
+  return [d](NetworkBuilder& builder, std::span<const Wire> wires,
+             std::size_t, std::size_t) -> std::vector<Wire> {
+    for (std::size_t i = 0; i < d; ++i) builder.add_balancer(wires);
+    return {wires.begin(), wires.end()};
+  };
+}
+
+void print_table() {
+  bench::print_header(
+      "E1  Proposition 1 (generic C depth recurrence)",
+      "depth(C) = (n-1) d + (n^2/2 - 3n/2 + 1) depth(S), depth(S) = 2d+1");
+  std::printf("%-14s %3s %3s %9s %9s %6s\n", "factors", "n", "d", "formula",
+              "measured", "check");
+  bench::print_row_rule();
+  for (const std::size_t d : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::vector<std::size_t>& f :
+         {std::vector<std::size_t>{2, 2, 2}, {2, 2, 2, 2}, {3, 2, 2},
+          {2, 3, 2, 2}, {2, 2, 2, 2, 2}}) {
+      const Network net = make_counting_network(
+          f, stacked_base(d), StaircaseVariant::kRebalanceCount);
+      const std::size_t formula = c_depth_formula(f.size(), d, 2 * d + 1);
+      const bool ok = net.depth() == formula;
+      std::printf("%-14s %3zu %3zu %9zu %9u %6s\n", format_factors(f).c_str(),
+                  f.size(), d, formula, net.depth(), bench::mark(ok));
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_BuildGenericC(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::size_t> factors(n, 2);
+  const BaseFactory base = stacked_base(2);
+  for (auto _ : state) {
+    const Network net =
+        make_counting_network(factors, base, StaircaseVariant::kRebalanceCount);
+    benchmark::DoNotOptimize(net.gate_count());
+  }
+}
+BENCHMARK(BM_BuildGenericC)->DenseRange(2, 10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E2 — Proposition 6: depth(K(p0..pn-1)) = 1.5 n^2 - 3.5 n + 2, exactly,
+// with balancers within max(p_i p_j). Prints the paper-vs-measured table
+// across factorizations, then times K construction.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+
+namespace {
+
+using namespace scn;
+
+const std::vector<std::vector<std::size_t>>& cases() {
+  static const std::vector<std::vector<std::size_t>> kCases = {
+      {2, 2},          {3, 2},          {4, 4},       {8, 8},
+      {2, 2, 2},       {4, 3, 2},       {5, 5, 5},    {8, 8, 8},
+      {2, 2, 2, 2},    {3, 3, 3, 3},    {5, 4, 3, 2}, {4, 4, 4, 4},
+      {2, 2, 2, 2, 2}, {3, 2, 3, 2, 3}, {2, 3, 4, 5, 6},
+      {2, 2, 2, 2, 2, 2}, {3, 3, 3, 3, 3, 3}, {2, 2, 3, 3, 4, 4},
+      {2, 2, 2, 2, 2, 2, 2},
+  };
+  return kCases;
+}
+
+void print_table() {
+  bench::print_header("E2  Proposition 6 (the K network)",
+                      "depth(K) = 1.5 n^2 - 3.5 n + 2 exactly; "
+                      "balancers <= max(p_i p_j)");
+  std::printf("%-22s %5s %8s %8s %8s %10s %6s\n", "factors", "width",
+              "formula", "measured", "maxgate", "pairbound", "check");
+  bench::print_row_rule();
+  for (const auto& f : cases()) {
+    const Network net = make_k_network(f);
+    const std::size_t formula = k_depth_formula(f.size());
+    const std::size_t bound = max_pair_product(f);
+    const bool ok = net.depth() == formula && net.max_gate_width() <= bound;
+    std::printf("%-22s %5zu %8zu %8u %8u %10zu %6s\n",
+                format_factors(f).c_str(), net.width(), formula, net.depth(),
+                net.max_gate_width(), bound, bench::mark(ok));
+  }
+  std::printf("\n");
+}
+
+void BM_BuildK(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::size_t> factors(n, 2);
+  for (auto _ : state) {
+    const Network net = make_k_network(factors);
+    benchmark::DoNotOptimize(net.gate_count());
+  }
+  state.counters["width"] = static_cast<double>(std::size_t{1} << n);
+  state.counters["depth"] = static_cast<double>(k_depth_formula(n));
+}
+BENCHMARK(BM_BuildK)->DenseRange(2, 10);
+
+void BM_BuildKWideFactors(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::size_t> factors(n, 8);
+  for (auto _ : state) {
+    const Network net = make_k_network(factors);
+    benchmark::DoNotOptimize(net.gate_count());
+  }
+}
+BENCHMARK(BM_BuildKWideFactors)->DenseRange(2, 5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E3 — Theorem 7: depth(L(p0..pn-1)) <= 9.5 n^2 - 12.5 n + 3 with balancers
+// no wider than max(p_i). Prints bound-vs-measured (the measured depth is
+// usually much smaller because degenerate R(p, q) quadrants shrink), then
+// times L construction.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/l_network.h"
+
+namespace {
+
+using namespace scn;
+
+const std::vector<std::vector<std::size_t>>& cases() {
+  static const std::vector<std::vector<std::size_t>> kCases = {
+      {2, 2},       {3, 3},          {5, 5},       {7, 7},
+      {2, 2, 2},    {3, 3, 3},       {5, 4, 3},    {7, 5, 3},
+      {2, 2, 2, 2}, {3, 3, 3, 3},    {5, 4, 3, 2}, {6, 5, 4, 3},
+      {2, 2, 2, 2, 2}, {3, 2, 3, 2, 3}, {4, 4, 4, 4, 4},
+  };
+  return kCases;
+}
+
+void print_table() {
+  bench::print_header("E3  Theorem 7 (the L network)",
+                      "depth(L) <= 9.5 n^2 - 12.5 n + 3; "
+                      "balancers <= max(p_i)");
+  std::printf("%-18s %6s %7s %9s %8s %9s %6s\n", "factors", "width", "bound",
+              "measured", "maxgate", "maxfactor", "check");
+  bench::print_row_rule();
+  for (const auto& f : cases()) {
+    const Network net = make_l_network(f);
+    const std::size_t bound = l_depth_bound(f.size());
+    const std::size_t mf = std::max<std::size_t>(2, max_factor(f));
+    const bool ok = net.depth() <= bound && net.max_gate_width() <= mf;
+    std::printf("%-18s %6zu %7zu %9u %8u %9zu %6s\n",
+                format_factors(f).c_str(), net.width(), bound, net.depth(),
+                net.max_gate_width(), max_factor(f), bench::mark(ok));
+  }
+  std::printf("\n");
+}
+
+void BM_BuildL(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::size_t> factors(n, 3);
+  for (auto _ : state) {
+    const Network net = make_l_network(factors);
+    benchmark::DoNotOptimize(net.gate_count());
+  }
+  state.counters["width"] = std::pow(3.0, static_cast<double>(n));
+}
+BENCHMARK(BM_BuildL)->DenseRange(2, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

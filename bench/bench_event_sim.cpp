@@ -1,0 +1,82 @@
+// E7' — the family crossover on the discrete-event contention simulator:
+// mean token latency vs concurrency for width-64 family members. Wide
+// balancers win uncontended (shallow path); as clients grow their long
+// serial sections back up and narrower-deeper members take over —
+// the Felten-LaMarca-Ladner shape, regenerated deterministically.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "sim/event_sim.h"
+
+namespace {
+
+using namespace scn;
+
+struct Member {
+  const char* name;
+  Network net;
+};
+
+std::vector<Member> members() {
+  std::vector<Member> out;
+  out.push_back({"K(64)", make_k_network({64})});
+  out.push_back({"K(8x8)", make_k_network({8, 8})});
+  out.push_back({"K(4x4x4)", make_k_network({4, 4, 4})});
+  out.push_back({"K(2^6)", make_k_network({2, 2, 2, 2, 2, 2})});
+  return out;
+}
+
+void print_table() {
+  bench::print_header(
+      "E7'  Simulated mean latency vs concurrency (width 64)",
+      "wide balancers win at low load; deep-narrow wins once hot "
+      "balancers saturate — the crossover of Felten et al. [9]");
+  const auto ms = members();
+  std::printf("%-10s |", "clients");
+  for (const auto& m : ms) std::printf(" %-10s", m.name);
+  std::printf("  winner\n");
+  bench::print_row_rule();
+  for (const std::size_t clients : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    EventSimConfig c;
+    c.clients = clients;
+    c.tokens_per_client = 300;
+    c.service_per_port = 0.5;  // wider balancer => longer critical section
+    std::printf("%-10zu |", clients);
+    double best = 1e300;
+    const char* best_name = "";
+    for (const auto& m : ms) {
+      const EventSimResult r = run_event_simulation(m.net, c);
+      std::printf(" %-10.1f", r.mean_latency);
+      if (r.mean_latency < best) {
+        best = r.mean_latency;
+        best_name = m.name;
+      }
+    }
+    std::printf("  %s\n", best_name);
+  }
+  std::printf("\n");
+}
+
+void BM_EventSim(benchmark::State& state) {
+  const Network net = make_k_network({4, 4, 4});
+  EventSimConfig c;
+  c.clients = static_cast<std::size_t>(state.range(0));
+  c.tokens_per_client = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_event_simulation(net, c).mean_latency);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(c.clients * c.tokens_per_client));
+}
+BENCHMARK(BM_EventSim)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Fetch&Increment implementations head to head: atomic word, mutex,
+// counting tree, counting networks of several factorizations. Prints the
+// structural inventory, then times ops/sec per implementation and thread
+// count. (On a single-core host this measures per-op overhead and
+// contention cost, not parallel speedup — see EXPERIMENTS.md.)
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "count/counting_tree.h"
+#include "count/fetch_inc.h"
+
+namespace {
+
+using namespace scn;
+
+// NetworkCounter references its Network without owning it: keep the
+// benchmark networks alive for the process lifetime.
+const Network& k44_network() {
+  static const Network net = make_k_network({4, 4});
+  return net;
+}
+const Network& k2222_network() {
+  static const Network net = make_k_network({2, 2, 2, 2});
+  return net;
+}
+
+std::unique_ptr<FetchIncCounter> make_counter(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<AtomicCounter>();
+    case 1:
+      return std::make_unique<MutexCounter>();
+    case 2:
+      return std::make_unique<TreeCounter>(4);  // width 16
+    case 3:
+      return std::make_unique<NetworkCounter>(k44_network());
+    default:
+      return std::make_unique<NetworkCounter>(k2222_network());
+  }
+}
+
+const char* counter_name(int which) {
+  switch (which) {
+    case 0:
+      return "atomic";
+    case 1:
+      return "mutex";
+    case 2:
+      return "tree16";
+    case 3:
+      return "K(4x4)";
+    default:
+      return "K(2^4)";
+  }
+}
+
+void print_table() {
+  bench::print_header(
+      "Fetch&Increment implementation inventory",
+      "counting networks spread one hot word over many balancers; the "
+      "tree funnels everything through the root");
+  std::printf("%-10s %28s\n", "counter", "structure");
+  bench::print_row_rule();
+  std::printf("%-10s %28s\n", "atomic", "1 word, every op hits it");
+  std::printf("%-10s %28s\n", "mutex", "1 lock");
+  const TreeCounter tree(4);
+  std::printf("%-10s    width 16, depth %u, root carries 100%% of ops\n",
+              "tree16", tree.network().depth());
+  const Network k44 = make_k_network({4, 4});
+  std::printf("%-10s    width 16, depth %u, hottest gate carries 100%%\n",
+              "K(4x4)", k44.depth());
+  const Network k2222 = make_k_network({2, 2, 2, 2});
+  std::printf("%-10s    width 16, depth %u, hottest gate carries 25%%\n\n",
+              "K(2^4)", k2222.depth());
+}
+
+void BM_FetchInc(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto counter = make_counter(which);
+  std::uint64_t total_ops = 0;
+  constexpr std::uint64_t kOpsPerThread = 5000;
+  for (auto _ : state) {
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+          benchmark::DoNotOptimize(counter->next());
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : pool) th.join();
+    total_ops += kOpsPerThread * threads;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_ops));
+  state.SetLabel(std::string(counter_name(which)) + " x" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_FetchInc)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 4}})
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E5 — Figure 2: isomorphic sorting and counting networks on one topology
+// (factors 2, 3, 5 => width 30, balancers of widths 2, 3 and 5). Runs the
+// same network as a counter (token loads) and as a sorter (value loads) and
+// prints both, then times the two evaluation modes.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.h"
+#include "core/l_network.h"
+#include "seq/generators.h"
+#include "sim/comparator_sim.h"
+#include "sim/count_sim.h"
+#include "verify/checkers.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header(
+      "E5  Figure 2 isomorphism (factors 2 x 3 x 5)",
+      "one topology, balancer widths {2,3,5}: counts as a balancing "
+      "network AND sorts as a comparator network");
+  const Network net = make_l_network({2, 3, 5});
+  const auto hist = net.gate_width_histogram();
+  std::printf("width=%zu depth=%u gates=%zu  widths 2:%zu 3:%zu 5:%zu\n\n",
+              net.width(), net.depth(), net.gate_count(), hist[2], hist[3],
+              hist[5]);
+
+  std::mt19937_64 rng(2026);
+  const auto tokens = random_count_vector(rng, 30, 47);
+  const auto counted = output_counts(net, tokens);
+  std::printf("counting run (47 tokens):\n  in : %s\n  out: %s  step=%s\n\n",
+              format_sequence(tokens).c_str(),
+              format_sequence(counted).c_str(),
+              bench::mark(is_exact_step_output(counted)));
+
+  const auto values = random_permutation(rng, 30);
+  const auto sorted = comparator_output_counts(net, values);
+  std::printf("sorting run (permutation of 0..29):\n  in : %s\n  out: %s  "
+              "sorted=%s\n\n",
+              format_sequence(values).c_str(),
+              format_sequence(sorted).c_str(),
+              bench::mark(is_sorted_descending(sorted)));
+}
+
+void BM_CountMode(benchmark::State& state) {
+  const Network net = make_l_network({2, 3, 5});
+  std::mt19937_64 rng(1);
+  const auto in = random_count_vector(rng, 30, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(output_counts(net, in));
+  }
+}
+BENCHMARK(BM_CountMode);
+
+void BM_SortMode(benchmark::State& state) {
+  const Network net = make_l_network({2, 3, 5});
+  std::mt19937_64 rng(2);
+  const auto in = random_permutation(rng, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comparator_output_counts(net, in));
+  }
+}
+BENCHMARK(BM_SortMode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

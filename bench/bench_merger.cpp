@@ -1,0 +1,93 @@
+// E10 — Propositions 3 and 5 mechanics: merger depth formula across
+// factorizations and two-merger behavior, plus timed evaluation of T.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.h"
+#include "core/counting_network.h"
+#include "core/factorization.h"
+#include "core/merger.h"
+#include "core/two_merger.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header("E10  Proposition 3 (merger depth, K instantiation)",
+                      "depth(M) = d + (n-2) depth(S) = 1 + 3(n-2)");
+  std::printf("%-16s %3s %9s %9s %6s\n", "factors", "n", "formula",
+              "measured", "check");
+  bench::print_row_rule();
+  for (const std::vector<std::size_t>& f :
+       {std::vector<std::size_t>{2, 2}, {2, 2, 2}, {3, 2, 2}, {2, 2, 2, 2},
+        {3, 3, 3, 3}, {2, 2, 2, 2, 2}, {4, 3, 2, 4}}) {
+    const Network net = make_merger_network(f, single_balancer_base(),
+                                            StaircaseVariant::kRebalanceCount);
+    const std::size_t formula = m_depth_formula(f.size(), 1, 3);
+    std::printf("%-16s %3zu %9zu %9u %6s\n", format_factors(f).c_str(),
+                f.size(), formula, net.depth(),
+                bench::mark(net.depth() == formula));
+  }
+
+  std::printf("\nTwo-merger T(p, q, q): depth 2, merges any two step "
+              "sequences:\n");
+  std::printf("%-12s %7s %9s %9s\n", "shape", "width", "depth", "maxgate");
+  bench::print_row_rule();
+  for (const auto& [p, q] : {std::pair<std::size_t, std::size_t>{4, 4},
+                            {8, 8},
+                            {16, 16},
+                            {16, 4}}) {
+    const Network t = make_two_merger_network(p, q, q);
+    std::printf("T(%2zu,%2zu,%2zu) %7zu %9u %9u\n", p, q, q, t.width(),
+                t.depth(), t.max_gate_width());
+  }
+  std::printf("\n");
+}
+
+void BM_TwoMergerEval(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<std::size_t>(state.range(1));
+  const Network net = make_two_merger_network(p, q, q);
+  std::mt19937_64 rng(1);
+  std::vector<Count> in;
+  const auto x0 = random_step_sequence(rng, p * q, 500);
+  const auto x1 = random_step_sequence(rng, p * q, 500);
+  in.insert(in.end(), x0.begin(), x0.end());
+  in.insert(in.end(), x1.begin(), x1.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(output_counts(net, in));
+  }
+}
+BENCHMARK(BM_TwoMergerEval)->Args({8, 8})->Args({16, 16})->Args({32, 32});
+
+void BM_MergerEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::size_t> factors(n, 2);
+  const Network net = make_merger_network(factors, single_balancer_base(),
+                                          StaircaseVariant::kRebalanceCount);
+  std::mt19937_64 rng(2);
+  const std::size_t m = factors.back();
+  const std::size_t len = product(factors) / m;
+  std::vector<Count> in;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto x = random_step_sequence(rng, len, 200);
+    in.insert(in.end(), x.begin(), x.end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(output_counts(net, in));
+  }
+}
+BENCHMARK(BM_MergerEval)->DenseRange(2, 8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

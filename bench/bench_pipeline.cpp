@@ -1,0 +1,72 @@
+// Pipelined (hardware-style) evaluation: latency = depth cycles, steady-
+// state throughput = one width-w batch per cycle. This is the regime where
+// the paper's shallow networks from wide comparators pay off directly —
+// the table shows cycles for 1 batch vs 256 batches across the family.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "baseline/batcher.h"
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "seq/generators.h"
+#include "sim/pipeline_sim.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header(
+      "Pipelined evaluation at width 64 (cycles)",
+      "latency = depth; steady-state amortized cycles/batch -> 1 "
+      "independently of depth");
+  std::printf("%-12s %7s %12s %14s %18s\n", "network", "depth",
+              "1 batch", "256 batches", "amortized/batch");
+  bench::print_row_rule();
+  std::mt19937_64 rng(1);
+  for (const auto& [name, net] :
+       {std::pair<const char*, Network>{"K(8x8)", make_k_network({8, 8})},
+        {"K(4x4x4)", make_k_network({4, 4, 4})},
+        {"K(2^6)", make_k_network({2, 2, 2, 2, 2, 2})},
+        {"L(4x4x4)", make_l_network({4, 4, 4})},
+        {"batcher64", make_batcher_network(64)}}) {
+    const PipelineSimulator pipe(net);
+    std::vector<std::vector<Count>> one = {random_permutation(rng, 64)};
+    std::vector<std::vector<Count>> many;
+    for (int i = 0; i < 256; ++i) many.push_back(random_permutation(rng, 64));
+    const auto r1 = pipe.run_batches(one);
+    const auto r256 = pipe.run_batches(many);
+    std::printf("%-12s %7u %12llu %14llu %18.3f\n", name, net.depth(),
+                static_cast<unsigned long long>(r1.cycles),
+                static_cast<unsigned long long>(r256.cycles),
+                static_cast<double>(r256.cycles) / 256.0);
+  }
+  std::printf("\n");
+}
+
+void BM_PipelineBatches(benchmark::State& state) {
+  const Network net = make_k_network({4, 4, 4});
+  const PipelineSimulator pipe(net);
+  std::mt19937_64 rng(2);
+  std::vector<std::vector<Count>> batches;
+  for (long i = 0; i < state.range(0); ++i) {
+    batches.push_back(random_permutation(rng, 64));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.run_batches(batches).cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_PipelineBatches)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E4 — §5.3: depth(R(p, q)) <= 16 and every balancer <= max(p, q), over the
+// whole (p, q) grid. Prints a depth heat table and the distribution of
+// depths, then times R construction.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_common.h"
+#include "core/r_network.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header("E4  R(p, q) constant-depth grid",
+                      "depth(R(p,q)) <= 16; balancers <= max(p,q)");
+  std::printf("depth of R(p, q) for p (rows), q (cols) in 2..20:\n     ");
+  for (std::size_t q = 2; q <= 20; ++q) std::printf("%3zu", q);
+  std::printf("\n");
+  bench::print_row_rule();
+  std::array<std::size_t, kRDepthBound + 1> histogram{};
+  bool all_ok = true;
+  for (std::size_t p = 2; p <= 20; ++p) {
+    std::printf("p=%2zu ", p);
+    for (std::size_t q = 2; q <= 20; ++q) {
+      const Network net = make_r_network(p, q);
+      std::printf("%3u", net.depth());
+      if (net.depth() > kRDepthBound ||
+          net.max_gate_width() > std::max(p, q)) {
+        all_ok = false;
+      }
+      histogram[std::min<std::size_t>(net.depth(), kRDepthBound)] += 1;
+    }
+    std::printf("\n");
+  }
+  std::printf("\ndepth histogram (2..20 grid): ");
+  for (std::size_t d = 0; d <= kRDepthBound; ++d) {
+    if (histogram[d]) std::printf("d%zu:%zu ", d, histogram[d]);
+  }
+  std::printf("\nall structural bounds: %s\n\n", bench::mark(all_ok));
+}
+
+void BM_BuildR(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    const Network net = make_r_network(p, q);
+    benchmark::DoNotOptimize(net.gate_count());
+  }
+  state.counters["width"] = static_cast<double>(p * q);
+}
+BENCHMARK(BM_BuildR)
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Args({16, 16})
+    ->Args({32, 32})
+    ->Args({64, 64})
+    ->Args({31, 17});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

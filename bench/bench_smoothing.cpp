@@ -1,0 +1,59 @@
+// Smoothing-vs-depth figure: how quickly prefixes of each construction
+// drive the output spread toward 1 (the counting guarantee). Also the
+// periodic network block by block. This is the "how much network do you
+// actually need for load balancing" table.
+#include <benchmark/benchmark.h>
+
+#include "baseline/periodic.h"
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "net/transform.h"
+#include "verify/smoothing.h"
+
+namespace {
+
+using namespace scn;
+
+void print_prefix_table(const char* name, const Network& net) {
+  std::printf("%-10s depth %2u | spread by prefix depth:", name, net.depth());
+  SmoothingProbeOptions opts;
+  opts.max_total = static_cast<Count>(3 * net.width());
+  opts.random_per_total = 4;
+  for (std::size_t d = 0; d <= net.depth(); ++d) {
+    const SmoothingReport r = probe_smoothing(prefix_layers(net, d), opts);
+    std::printf(" %lld", static_cast<long long>(r.worst_spread));
+  }
+  std::printf("\n");
+}
+
+void print_table() {
+  bench::print_header(
+      "Smoothing vs depth (worst output spread, probed loads)",
+      "counting networks end at spread <= 1; prefixes smooth gradually — "
+      "partial networks already balance load");
+  print_prefix_table("K(2^4)", make_k_network({2, 2, 2, 2}));
+  print_prefix_table("K(4x4)", make_k_network({4, 4}));
+  print_prefix_table("L(4x4)", make_l_network({4, 4}));
+  print_prefix_table("periodic16", make_periodic_network(4));
+  std::printf("\n");
+}
+
+void BM_ProbeSmoothing(benchmark::State& state) {
+  const Network net = make_k_network({2, 2, 2, 2});
+  SmoothingProbeOptions opts;
+  opts.max_total = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe_smoothing(net, opts).worst_spread);
+  }
+}
+BENCHMARK(BM_ProbeSmoothing);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

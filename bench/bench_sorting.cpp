@@ -1,0 +1,96 @@
+// E11 — sorting throughput: evaluating the networks as sorters (K, L,
+// Batcher, bitonic) against std::sort. Comparator networks trade work for
+// depth; on one core std::sort wins, but the network's layer structure is
+// the parallel-time story the constructions target.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baseline/batcher.h"
+#include "baseline/bitonic.h"
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "seq/generators.h"
+#include "sim/comparator_sim.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header(
+      "E11  Sorting-network inventory at width 64",
+      "same values sorted by every construction; depth = parallel time");
+  const Network k = make_k_network({4, 4, 4});
+  const Network l = make_l_network({4, 4, 4});
+  const Network batcher = make_batcher_network(64);
+  const Network bitonic = make_bitonic_network(6);
+  std::printf("%-12s %7s %7s %9s %9s\n", "network", "depth", "gates",
+              "maxgate", "endpoints");
+  bench::print_row_rule();
+  for (const auto& [name, net] :
+       {std::pair<const char*, const Network*>{"K(4x4x4)", &k},
+        {"L(4x4x4)", &l},
+        {"batcher64", &batcher},
+        {"bitonic64", &bitonic}}) {
+    std::printf("%-12s %7u %7zu %9u %9zu\n", name, net->depth(),
+                net->gate_count(), net->max_gate_width(),
+                net->wire_endpoint_count());
+  }
+  std::printf("\n");
+}
+
+template <typename MakeNet>
+void sort_bench(benchmark::State& state, MakeNet make) {
+  const Network net = make();
+  std::mt19937_64 rng(7);
+  const auto vals = random_permutation(rng, net.width());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comparator_output_counts(net, vals));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(net.width()));
+}
+
+void BM_SortK(benchmark::State& state) {
+  sort_bench(state, [] { return make_k_network({4, 4, 4}); });
+}
+BENCHMARK(BM_SortK);
+
+void BM_SortL(benchmark::State& state) {
+  sort_bench(state, [] { return make_l_network({4, 4, 4}); });
+}
+BENCHMARK(BM_SortL);
+
+void BM_SortBatcher(benchmark::State& state) {
+  sort_bench(state, [] { return make_batcher_network(64); });
+}
+BENCHMARK(BM_SortBatcher);
+
+void BM_SortBitonic(benchmark::State& state) {
+  sort_bench(state, [] { return make_bitonic_network(6); });
+}
+BENCHMARK(BM_SortBitonic);
+
+void BM_StdSort(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const auto vals = random_permutation(rng, 64);
+  for (auto _ : state) {
+    auto copy = vals;
+    std::sort(copy.begin(), copy.end(), std::greater<>());
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_StdSort);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

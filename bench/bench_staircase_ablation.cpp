@@ -1,0 +1,82 @@
+// E9 — §4.3 / §4.3.1 ablation: the four staircase-merger variants. Depth
+// table (naive d+6 / capped d+9 vs optimized 2d+1 / d+3) plus gate-cost
+// comparison, then timed construction and evaluation.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_common.h"
+#include "core/counting_network.h"
+#include "core/staircase_merger.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+
+namespace {
+
+using namespace scn;
+
+constexpr StaircaseVariant kVariants[] = {
+    StaircaseVariant::kTwoMerger, StaircaseVariant::kTwoMergerCapped,
+    StaircaseVariant::kRebalanceCount, StaircaseVariant::kRebalanceBitonic};
+
+void print_table() {
+  bench::print_header(
+      "E9  Staircase-merger ablation (base d = 1)",
+      "naive: d+6 (d+9 capped); optimized: 2d+1 (count) / d+3 (bitonic)");
+  std::printf("%-20s %6s %7s %9s %9s %7s %10s\n", "variant", "r,p,q",
+              "formula", "measured", "maxgate", "gates", "endpoints");
+  bench::print_row_rule();
+  for (const auto& [r, p, q] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{4, 3, 3},
+        {5, 3, 3},
+        {8, 4, 4},
+        {3, 5, 5}}) {
+    for (const StaircaseVariant v : kVariants) {
+      const Network net =
+          make_staircase_merger_network(r, p, q, single_balancer_base(), v);
+      std::printf("%-20s %zu,%zu,%zu %7zu %9u %9u %7zu %10zu\n", to_string(v),
+                  r, p, q, staircase_depth_formula(v, 1, r), net.depth(),
+                  net.max_gate_width(), net.gate_count(),
+                  net.wire_endpoint_count());
+    }
+    bench::print_row_rule();
+  }
+  std::printf("\n");
+}
+
+void BM_StaircaseEval(benchmark::State& state) {
+  const auto variant = kVariants[static_cast<std::size_t>(state.range(0))];
+  const std::size_t r = 8, p = 4, q = 4;
+  const Network net =
+      make_staircase_merger_network(r, p, q, single_balancer_base(), variant);
+  std::mt19937_64 rng(3);
+  const auto family = random_staircase_family(rng, q, r * p,
+                                              static_cast<Count>(p), 200);
+  std::vector<Count> in;
+  for (const auto& x : family) in.insert(in.end(), x.begin(), x.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(output_counts(net, in));
+  }
+  state.SetLabel(to_string(variant));
+}
+BENCHMARK(BM_StaircaseEval)->DenseRange(0, 3);
+
+void BM_StaircaseBuild(benchmark::State& state) {
+  const auto variant = kVariants[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_staircase_merger_network(8, 4, 4, single_balancer_base(), variant)
+            .gate_count());
+  }
+  state.SetLabel(to_string(variant));
+}
+BENCHMARK(BM_StaircaseBuild)->DenseRange(0, 3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Structural anatomy tables: per-layer profiles, wire utilization and
+// occupancy for the main constructions at width 64 — the data a hardware
+// or shared-memory deployment sizes against.
+#include <benchmark/benchmark.h>
+
+#include "baseline/batcher.h"
+#include "baseline/bitonic.h"
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "net/analyze.h"
+
+namespace {
+
+using namespace scn;
+
+void print_profile(const char* name, const Network& net) {
+  const auto util = wire_utilization(net);
+  std::printf("%-12s depth=%2u gates=%4zu occupancy=%.2f wire-load "
+              "min/mean/max = %zu/%.1f/%zu\n",
+              name, net.depth(), net.gate_count(), occupancy(net),
+              util.min_gates, util.mean_gates, util.max_gates);
+  std::printf("  layer profile (gates@maxwidth): ");
+  for (const auto& p : layer_profiles(net)) {
+    std::printf("%zu@%zu ", p.gates, p.max_gate_width);
+  }
+  std::printf("\n");
+  const auto path = critical_path(net);
+  std::printf("  critical path gate widths: ");
+  for (const std::size_t gi : path) {
+    std::printf("%u ", net.gates()[gi].width);
+  }
+  std::printf("\n\n");
+}
+
+void print_table() {
+  bench::print_header("Structural anatomy at width 64",
+                      "layer-by-layer gate counts and widths per "
+                      "construction");
+  print_profile("K(8x8)", make_k_network({8, 8}));
+  print_profile("K(4x4x4)", make_k_network({4, 4, 4}));
+  print_profile("K(2^6)", make_k_network({2, 2, 2, 2, 2, 2}));
+  print_profile("L(4x4x4)", make_l_network({4, 4, 4}));
+  print_profile("bitonic64", make_bitonic_network(6));
+  print_profile("batcher64", make_batcher_network(64));
+}
+
+void BM_Analyze(benchmark::State& state) {
+  const Network net = make_l_network({4, 4, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer_profiles(net).size());
+    benchmark::DoNotOptimize(critical_path(net).size());
+  }
+}
+BENCHMARK(BM_Analyze);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E12 — token routing cost: tokens/second through K, L and the bitonic
+// baseline under the sequential simulator and under real threads, across
+// thread counts. The per-token work is the network depth, so shallow-wide
+// members route faster until balancer contention bites.
+#include <benchmark/benchmark.h>
+
+#include "baseline/bitonic.h"
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "sim/concurrent_sim.h"
+#include "sim/token_sim.h"
+
+namespace {
+
+using namespace scn;
+
+Network pick_network(int which) {
+  switch (which) {
+    case 0:
+      return make_k_network({4, 4, 4});   // shallow, wide balancers
+    case 1:
+      return make_l_network({4, 4, 4});   // deeper, narrow balancers
+    default:
+      return make_bitonic_network(6);     // classic 2-balancer baseline
+  }
+}
+
+const char* network_name(int which) {
+  switch (which) {
+    case 0:
+      return "K(4x4x4)";
+    case 1:
+      return "L(4x4x4)";
+    default:
+      return "bitonic64";
+  }
+}
+
+void print_table() {
+  bench::print_header("E12  Token-routing inventory (width 64)",
+                      "per-token hop count == path depth; throughput scales "
+                      "inversely with depth until contention dominates");
+  std::printf("%-12s %7s %9s\n", "network", "depth", "hops/token");
+  bench::print_row_rule();
+  for (int which = 0; which < 3; ++which) {
+    const Network net = pick_network(which);
+    std::vector<Count> in(net.width(), 4);
+    const auto res =
+        run_token_simulation(net, in, SchedulePolicy::kOneTokenAtATime);
+    std::printf("%-12s %7u %9.2f\n", network_name(which), net.depth(),
+                static_cast<double>(res.hops) /
+                    static_cast<double>(4 * net.width()));
+  }
+  std::printf("\n");
+}
+
+void BM_SequentialTokens(benchmark::State& state) {
+  const Network net = pick_network(static_cast<int>(state.range(0)));
+  const LinkedNetwork linked(net);
+  std::vector<Count> in(net.width(), 16);
+  std::uint64_t tokens = 0;
+  for (auto _ : state) {
+    const auto res =
+        run_token_simulation(linked, in, SchedulePolicy::kRoundRobin, 1);
+    benchmark::DoNotOptimize(res.outputs.data());
+    tokens += 16 * net.width();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tokens));
+  state.SetLabel(network_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SequentialTokens)->DenseRange(0, 2);
+
+void BM_ConcurrentTokens(benchmark::State& state) {
+  const Network net = pick_network(static_cast<int>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  ConcurrentNetwork cn(net);
+  std::uint64_t tokens = 0;
+  for (auto _ : state) {
+    cn.reset();
+    const auto res = run_concurrent(cn, threads, 8000);
+    tokens += res.tokens;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tokens));
+  state.SetLabel(std::string(network_name(static_cast<int>(state.range(0)))) +
+                 " x" + std::to_string(threads));
+}
+BENCHMARK(BM_ConcurrentTokens)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4, 8}})
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

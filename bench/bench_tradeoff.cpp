@@ -1,0 +1,82 @@
+// E7 — the family trade-off (§1, §6, and the Felten-LaMarca-Ladner [9]
+// motivation): for a fixed width, each factorization trades depth against
+// balancer width. The table shows structure; the timed section measures
+// multithreaded shared-memory Fetch&Inc throughput per family member,
+// reproducing the qualitative claim that intermediate balancer sizes win.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/family.h"
+#include "sim/concurrent_sim.h"
+
+namespace {
+
+using namespace scn;
+
+constexpr std::size_t kWidth = 64;
+
+void print_table() {
+  bench::print_header(
+      "E7  Family trade-off at fixed width w = 64",
+      "one network per factorization: small n => shallow + wide balancers, "
+      "large n => deep + narrow balancers");
+  std::printf("%-22s %3s %7s %9s %7s %10s\n", "member", "n", "depth",
+              "maxgate", "gates", "endpoints");
+  bench::print_row_rule();
+  for (const NetworkKind kind : {NetworkKind::kK, NetworkKind::kL}) {
+    for (const auto& m : enumerate_family(kWidth, kind)) {
+      std::printf("%-22s %3zu %7u %9u %7zu %10zu\n", m.label().c_str(),
+                  m.factors.size(), m.network.depth(),
+                  m.network.max_gate_width(), m.network.gate_count(),
+                  m.network.wire_endpoint_count());
+    }
+    bench::print_row_rule();
+  }
+  std::printf("\n");
+}
+
+/// Throughput of the shared-memory token router per family member.
+void BM_FamilyThroughput(benchmark::State& state) {
+  static const auto members = [] {
+    std::vector<FamilyMember> ms;
+    for (auto& m : enumerate_family(kWidth, NetworkKind::kK)) {
+      ms.push_back(std::move(m));
+    }
+    return ms;
+  }();
+  const auto& member = members[static_cast<std::size_t>(state.range(0))];
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  ConcurrentNetwork cn(member.network);
+  std::uint64_t tokens = 0;
+  for (auto _ : state) {
+    cn.reset();
+    const auto res = run_concurrent(cn, threads, 4000);
+    tokens += res.tokens;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tokens));
+  state.SetLabel(member.label() + " depth=" +
+                 std::to_string(member.network.depth()) + " maxgate=" +
+                 std::to_string(member.network.max_gate_width()));
+}
+BENCHMARK(BM_FamilyThroughput)
+    ->ArgsProduct({benchmark::CreateDenseRange(
+                       0,
+                       static_cast<long>(
+                           all_factorizations(kWidth).size() - 1),
+                       1),
+                   {1, 4}})
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Verifier engineering: scalar vs bit-sliced exhaustive 0-1 checks and
+// sequential vs parallel counting sweeps. The bit-sliced path is what makes
+// the mega-sweep tests affordable.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "verify/counting_verify.h"
+#include "verify/fast_zero_one.h"
+#include "verify/parallel_verify.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header("Verifier engineering",
+                      "bit-sliced 0-1 evaluation processes 64 inputs per "
+                      "word pass (~64x scalar)");
+  const Network net = make_k_network({2, 3, 2});
+  const auto slow = verify_sorting_exhaustive(net);
+  const auto fast = fast_verify_sorting_exhaustive(net);
+  std::printf("width 12: scalar checked %llu, bit-sliced checked %llu, "
+              "verdicts agree: %s\n\n",
+              static_cast<unsigned long long>(slow.inputs_checked),
+              static_cast<unsigned long long>(fast.inputs_checked),
+              bench::mark(slow.ok == fast.ok));
+}
+
+void BM_ScalarExhaustive(benchmark::State& state) {
+  const Network net = make_k_network({2, 3, 2});  // width 12
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_sorting_exhaustive(net).ok);
+  }
+}
+BENCHMARK(BM_ScalarExhaustive);
+
+void BM_BitSlicedExhaustive(benchmark::State& state) {
+  const Network net = make_k_network({2, 3, 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast_verify_sorting_exhaustive(net).ok);
+  }
+}
+BENCHMARK(BM_BitSlicedExhaustive);
+
+void BM_BitSlicedWidth20(benchmark::State& state) {
+  const Network net = make_k_network({5, 2, 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast_verify_sorting_exhaustive(net).ok);
+  }
+}
+BENCHMARK(BM_BitSlicedWidth20)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialCountingVerify(benchmark::State& state) {
+  const Network net = make_k_network({4, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_counting(net).ok);
+  }
+}
+BENCHMARK(BM_SequentialCountingVerify);
+
+void BM_ParallelCountingVerify(benchmark::State& state) {
+  const Network net = make_k_network({4, 4});
+  ParallelVerifyOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_counting_parallel(net, opts).ok);
+  }
+}
+BENCHMARK(BM_ParallelCountingVerify)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E8 — §6 Discussion: constant-factor comparison against the classic
+// bitonic counting network at widths 2^k. The bitonic network is shallower
+// by a constant factor when 2-balancers are required; the family closes the
+// gap (and inverts it) as balancer width grows.
+#include <benchmark/benchmark.h>
+
+#include "baseline/bitonic.h"
+#include "baseline/periodic.h"
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+
+namespace {
+
+using namespace scn;
+
+void print_table() {
+  bench::print_header(
+      "E8  Depth vs the bitonic network (w = 2^k)",
+      "bitonic depth k(k+1)/2 beats K(2^n)'s 1.5n^2-3.5n+2 by a constant "
+      "factor (§6); wider balancers reverse the comparison");
+  std::printf("%3s %6s | %8s %9s | %9s %9s | %10s %9s\n", "k", "width",
+              "bitonic", "periodic", "K(2^k)", "L(2^k)", "K(4^(k/2))",
+              "K(2hlf)");
+  bench::print_row_rule();
+  for (std::size_t k = 2; k <= 10; ++k) {
+    const std::size_t w = std::size_t{1} << k;
+    const std::size_t bit = bitonic_depth_formula(k);
+    const std::size_t per = k * k;
+    const std::vector<std::size_t> twos(k, 2);
+    const Network netk = make_k_network(twos);
+    const Network netl = make_l_network(twos);
+    // Fours: factorization into 4's (and one 2 if k odd).
+    std::vector<std::size_t> fours(k / 2, 4);
+    if (k % 2) fours.push_back(2);
+    const Network net4 = make_k_network(fours);
+    // Two half-width factors: 2^(k/2) each.
+    std::vector<std::size_t> halves = {std::size_t{1} << (k / 2),
+                                       std::size_t{1} << (k - k / 2)};
+    const Network net2f = make_k_network(halves);
+    std::printf("%3zu %6zu | %8zu %9zu | %9u %9u | %10u %9u\n", k, w, bit,
+                per, netk.depth(), netl.depth(), net4.depth(), net2f.depth());
+  }
+  std::printf("\n(K/L depths use balancers wider than 2; the 2-balancer "
+              "columns are the §6 comparison)\n\n");
+}
+
+void BM_BuildBitonic(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_bitonic_network(k).gate_count());
+  }
+}
+BENCHMARK(BM_BuildBitonic)->DenseRange(2, 12);
+
+void BM_BuildPeriodic(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_periodic_network(k).gate_count());
+  }
+}
+BENCHMARK(BM_BuildPeriodic)->DenseRange(2, 12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

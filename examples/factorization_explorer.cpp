@@ -1,0 +1,43 @@
+// Explore the network *family* for a width: one network per factorization
+// (paper §1), showing the depth / balancer-width / gate-cost trade-off for
+// both the K and L constructions.
+//
+//   ./factorization_explorer [width]      (default 144)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/factorization.h"
+#include "core/family.h"
+
+int main(int argc, char** argv) {
+  using namespace scn;
+  const std::size_t w = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 144;
+  if (w < 4) {
+    std::fprintf(stderr, "width must be >= 4\n");
+    return 1;
+  }
+  std::printf("family of counting/sorting networks of width %zu\n", w);
+  std::printf("prime factorization: %s\n\n",
+              format_factors(prime_factorization(w)).c_str());
+
+  for (const NetworkKind kind : {NetworkKind::kK, NetworkKind::kL}) {
+    std::printf("%s construction (%s):\n", to_string(kind),
+                kind == NetworkKind::kK
+                    ? "balancers up to max(p_i*p_j), depth 1.5n^2-3.5n+2"
+                    : "balancers up to max(p_i), depth <= 9.5n^2-12.5n+3");
+    std::printf("  %-20s %3s %7s %9s %8s %10s\n", "factorization", "n",
+                "depth", "maxgate", "gates", "endpoints");
+    for (const auto& m : enumerate_family(w, kind)) {
+      std::printf("  %-20s %3zu %7u %9u %8zu %10zu\n",
+                  format_factors(m.factors).c_str(), m.factors.size(),
+                  m.network.depth(), m.network.max_gate_width(),
+                  m.network.gate_count(), m.network.wire_endpoint_count());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading the table: pick a row whose max gate width matches the\n"
+      "hardware (e.g. how many requests one shared-memory balancer word\n"
+      "can absorb); depth is the latency every token/value pays.\n");
+  return 0;
+}

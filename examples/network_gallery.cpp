@@ -1,0 +1,57 @@
+// Render the paper's constructions as ASCII wire diagrams and Graphviz DOT
+// — the executable counterpart of Figures 2, 11, 12 and 13.
+//
+//   ./network_gallery           prints the gallery
+//   ./network_gallery --dot DIR also writes .dot files into DIR
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "baseline/bitonic.h"
+#include "core/bitonic_converter.h"
+#include "core/counting_network.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "core/two_merger.h"
+#include "net/export.h"
+
+namespace {
+
+using namespace scn;
+
+void show(const char* title, const Network& net, const char* dot_dir) {
+  std::printf("---- %s ----\n%s\n%s\n", title, summarize(net).c_str(),
+              to_ascii(net).c_str());
+  if (dot_dir != nullptr) {
+    std::string base = std::string(dot_dir) + "/" + title;
+    for (auto& c : base) {
+      if (c == ' ' || c == '(' || c == ')' || c == ',') c = '_';
+    }
+    std::ofstream(base + ".dot") << to_dot(net, title);
+    std::ofstream(base + ".svg") << to_svg(net, title);
+    std::printf("(wrote %s.dot and %s.svg)\n", base.c_str(), base.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* dot_dir = nullptr;
+  if (argc >= 3 && std::strcmp(argv[1], "--dot") == 0) dot_dir = argv[2];
+
+  // Figure 11: the two-merger.
+  show("two-merger T(3,2,2)", make_two_merger_network(3, 2, 2), dot_dir);
+  // Figure 12: the bitonic-converter.
+  show("bitonic-converter D(3,4)", make_bitonic_converter_network(3, 4),
+       dot_dir);
+  // Figure 13: the constant-depth R(p, q).
+  show("R(5,5)", make_r_network(5, 5), dot_dir);
+  // Figure 2's family: mixed balancer sizes on one topology.
+  show("L(2,3,5) width 30", make_l_network({2, 3, 5}), dot_dir);
+  // The K construction and the classic baseline.
+  show("K(2,2,2) width 8", make_k_network({2, 2, 2}), dot_dir);
+  show("bitonic width 8", make_bitonic_network(3), dot_dir);
+  return 0;
+}

@@ -1,0 +1,211 @@
+// scnet_cli — command-line front end to the library.
+//
+//   scnet_cli build K 2x3x5            emit the network as scnet text
+//   scnet_cli build L 2x3x5
+//   scnet_cli build R 7 9
+//   scnet_cli build bitonic 16 | batcher 24 | bubble 5 | periodic 8
+//   scnet_cli info < net.scnet         summary + depth/width stats
+//   scnet_cli verify < net.scnet       counting + sorting verification
+//   scnet_cli dot < net.scnet          Graphviz
+//   scnet_cli ascii < net.scnet        wire diagram
+//   scnet_cli count t0,t1,... < net.scnet    quiescent outputs for a load
+//   scnet_cli sort v0,v1,...  < net.scnet    comparator outputs for values
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baseline/batcher.h"
+#include "baseline/bitonic.h"
+#include "baseline/bubble.h"
+#include "baseline/periodic.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "net/analyze.h"
+#include "net/export.h"
+#include "net/serialize.h"
+#include "perf/contention_model.h"
+#include "sim/comparator_sim.h"
+#include "sim/count_sim.h"
+#include "verify/checkers.h"
+#include "verify/counting_verify.h"
+#include "verify/sorting_verify.h"
+
+namespace {
+
+using namespace scn;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  scnet_cli build {K|L} <p0xp1x...>\n"
+               "  scnet_cli build R <p> <q>\n"
+               "  scnet_cli build {bitonic|periodic} <width=2^k>\n"
+               "  scnet_cli build {batcher|bubble} <width>\n"
+               "  scnet_cli {info|analyze|svg|verify|dot|ascii} < net.scnet\n"
+               "  scnet_cli count <t0,t1,...> < net.scnet\n"
+               "  scnet_cli sort <v0,v1,...> < net.scnet\n");
+  return 2;
+}
+
+std::vector<std::size_t> parse_factors(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, 'x')) {
+    out.push_back(std::strtoul(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<Count> parse_counts(const std::string& s) {
+  std::vector<Count> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::size_t log2_exact(std::size_t w) {
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < w) ++k;
+  if ((std::size_t{1} << k) != w) {
+    std::fprintf(stderr, "width %zu is not a power of two\n", w);
+    std::exit(2);
+  }
+  return k;
+}
+
+int cmd_build(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string kind = argv[2];
+  Network net;
+  if (kind == "K" || kind == "L") {
+    const auto factors = parse_factors(argv[3]);
+    for (const std::size_t f : factors) {
+      if (f < 2) {
+        std::fprintf(stderr, "factors must be >= 2\n");
+        return 2;
+      }
+    }
+    net = kind == "K" ? make_k_network(factors) : make_l_network(factors);
+  } else if (kind == "R") {
+    if (argc < 5) return usage();
+    const std::size_t p = std::strtoul(argv[3], nullptr, 10);
+    const std::size_t q = std::strtoul(argv[4], nullptr, 10);
+    if (p < 2 || q < 2) {
+      std::fprintf(stderr, "R needs p, q >= 2\n");
+      return 2;
+    }
+    net = make_r_network(p, q);
+  } else if (kind == "bitonic") {
+    net = make_bitonic_network(log2_exact(std::strtoul(argv[3], nullptr, 10)));
+  } else if (kind == "periodic") {
+    net = make_periodic_network(log2_exact(std::strtoul(argv[3], nullptr, 10)));
+  } else if (kind == "batcher") {
+    net = make_batcher_network(std::strtoul(argv[3], nullptr, 10));
+  } else if (kind == "bubble") {
+    net = make_bubble_network(std::strtoul(argv[3], nullptr, 10));
+  } else {
+    return usage();
+  }
+  std::fputs(serialize_network(net).c_str(), stdout);
+  return 0;
+}
+
+Network read_network_or_die() {
+  std::stringstream buf;
+  buf << std::cin.rdbuf();
+  ParseResult r = parse_network(buf.str());
+  if (!r.network) {
+    std::fprintf(stderr, "parse error: %s\n", r.error.c_str());
+    std::exit(2);
+  }
+  return std::move(*r.network);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "build") return cmd_build(argc, argv);
+
+  const Network net = read_network_or_die();
+  if (cmd == "info") {
+    std::printf("%s\n", summarize(net).c_str());
+    return 0;
+  }
+  if (cmd == "dot") {
+    std::fputs(to_dot(net).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "ascii") {
+    std::fputs(to_ascii(net).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "svg") {
+    std::fputs(to_svg(net).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "analyze") {
+    std::printf("%s\n", summarize(net).c_str());
+    std::printf("occupancy: %.3f\n", occupancy(net));
+    const auto util = wire_utilization(net);
+    std::printf("wire load min/mean/max: %zu/%.2f/%zu\n", util.min_gates,
+                util.mean_gates, util.max_gates);
+    std::printf("layers (gates@maxwidth):");
+    for (const auto& p : layer_profiles(net)) {
+      std::printf(" %zu@%zu", p.gates, p.max_gate_width);
+    }
+    std::printf("\n");
+    const auto est = estimate_contention(net);
+    std::printf("contention: hops/token %.2f, hottest gate %.4f\n",
+                est.hops_per_token, est.hottest_gate_fraction);
+    return 0;
+  }
+  if (cmd == "verify") {
+    const CountingVerdict cv = verify_counting(net);
+    std::printf("counting: %s", cv.ok ? "PASS" : "FAIL");
+    if (!cv.ok) {
+      std::printf("  witness [%s] -> [%s]",
+                  format_sequence(cv.counterexample).c_str(),
+                  format_sequence(cv.bad_output).c_str());
+    }
+    std::printf("\n");
+    if (net.width() <= 22) {
+      const SortingVerdict sv = verify_sorting_exhaustive(net);
+      std::printf("sorting (0-1 exhaustive): %s\n", sv.ok ? "PASS" : "FAIL");
+      return (cv.ok && sv.ok) ? 0 : 1;
+    }
+    const SortingVerdict sv = verify_sorting_sampled(net, 500);
+    std::printf("sorting (sampled x500): %s\n", sv.ok ? "PASS" : "FAIL");
+    return (cv.ok && sv.ok) ? 0 : 1;
+  }
+  if (cmd == "count" && argc >= 3) {
+    const auto in = parse_counts(argv[2]);
+    if (in.size() != net.width()) {
+      std::fprintf(stderr, "need %zu counts\n", net.width());
+      return 2;
+    }
+    std::printf("%s\n", format_sequence(output_counts(net, in)).c_str());
+    return 0;
+  }
+  if (cmd == "sort" && argc >= 3) {
+    const auto in = parse_counts(argv[2]);
+    if (in.size() != net.width()) {
+      std::fprintf(stderr, "need %zu values\n", net.width());
+      return 2;
+    }
+    std::printf("%s\n",
+                format_sequence(comparator_output_counts(net, in)).c_str());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,45 @@
+#include "api/high_level.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/family.h"
+#include "sim/comparator_sim.h"
+
+namespace scn {
+namespace {
+
+Network pick_network(std::size_t width, std::size_t cap, NetworkKind kind) {
+  assert(width >= 2);
+  return make_network_for_width(width, std::max<std::size_t>(2, cap), kind);
+}
+
+}  // namespace
+
+Sorter::Sorter(std::size_t width) : Sorter(width, Options{}) {}
+
+Sorter::Sorter(std::size_t width, Options options)
+    : net_(width >= 2 ? pick_network(width, options.max_comparator,
+                                     NetworkKind::kL)
+                      : NetworkBuilder(width).finish_identity()) {}
+
+void Sorter::sort(std::span<Count> values) const {
+  assert(values.size() == net_.width());
+  const std::vector<Count> out = network_sort_ascending(net_, values);
+  std::copy(out.begin(), out.end(), values.begin());
+}
+
+std::vector<Count> Sorter::sorted(std::span<const Count> values) const {
+  std::vector<Count> copy(values.begin(), values.end());
+  sort(copy);
+  return copy;
+}
+
+Counter::Counter() : Counter(Options{}) {}
+
+Counter::Counter(Options options)
+    : impl_(std::make_unique<NetworkCounter>(
+          pick_network(std::max<std::size_t>(2, options.width),
+                       options.max_balancer, NetworkKind::kL))) {}
+
+}  // namespace scn

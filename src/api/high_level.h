@@ -1,0 +1,70 @@
+// High-level convenience API: one-call sorting and counting for users who
+// do not want to pick constructions themselves.
+//
+//   Sorter sorter(1000);               // any width
+//   sorter.sort(values);               // ascending, network-based
+//
+//   Counter counter(Counter::Options{.width = 32});
+//   counter.next();                    // concurrent Fetch&Inc
+//
+// The Sorter picks the factorization automatically (balanced factors near
+// the configured comparator budget) and caches the network; Counter wraps
+// NetworkCounter over the same choice machinery.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "count/fetch_inc.h"
+#include "net/network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+class Sorter {
+ public:
+  struct Options {
+    /// Largest comparator the caller can "afford" (hardware lanes, SIMD
+    /// width, ...). The factorization is chosen to respect it when any
+    /// factorization of the width can.
+    std::size_t max_comparator = 8;
+  };
+
+  explicit Sorter(std::size_t width);
+  Sorter(std::size_t width, Options options);
+
+  [[nodiscard]] std::size_t width() const { return net_.width(); }
+  [[nodiscard]] const Network& network() const { return net_; }
+
+  /// Sorts exactly width() values ascending, in place.
+  void sort(std::span<Count> values) const;
+
+  /// Sorted copy.
+  [[nodiscard]] std::vector<Count> sorted(std::span<const Count> values) const;
+
+ private:
+  Network net_;
+};
+
+class Counter {
+ public:
+  struct Options {
+    std::size_t width = 16;        ///< wires (parallelism grain)
+    std::size_t max_balancer = 4;  ///< widest acceptable balancer
+  };
+
+  Counter();
+  explicit Counter(Options options);
+
+  /// Concurrent Fetch&Increment (values unique; contiguous at quiescence).
+  std::uint64_t next() { return impl_->next(); }
+
+  [[nodiscard]] const Network& network() const { return impl_->network(); }
+
+ private:
+  std::unique_ptr<NetworkCounter> impl_;  // owns its network copy
+};
+
+}  // namespace scn

@@ -1,0 +1,54 @@
+#include "baseline/batcher.h"
+
+#include <cassert>
+
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+std::vector<Wire> build_odd_even_merge(NetworkBuilder& builder,
+                                       std::span<const Wire> a,
+                                       std::span<const Wire> b) {
+  if (a.empty()) return {b.begin(), b.end()};
+  if (b.empty()) return {a.begin(), a.end()};
+  if (a.size() == 1 && b.size() == 1) {
+    builder.add_balancer({a[0], b[0]});
+    return {a[0], b[0]};
+  }
+  // Merge the even and odd stride subsequences, interleave, then
+  // compare-exchange the (2i+1, 2i+2) pairs (Batcher, arbitrary sizes).
+  const auto ae = stride_subsequence_of<Wire>(a, 0, 2);
+  const auto ao = stride_subsequence_of<Wire>(a, 1, 2);
+  const auto be = stride_subsequence_of<Wire>(b, 0, 2);
+  const auto bo = stride_subsequence_of<Wire>(b, 1, 2);
+  const std::vector<Wire> even = build_odd_even_merge(builder, ae, be);
+  const std::vector<Wire> odd = build_odd_even_merge(builder, ao, bo);
+  std::vector<Wire> out;
+  out.reserve(a.size() + b.size());
+  for (std::size_t i = 0; i < even.size() || i < odd.size(); ++i) {
+    if (i < even.size()) out.push_back(even[i]);
+    if (i < odd.size()) out.push_back(odd[i]);
+  }
+  for (std::size_t i = 1; i + 1 < out.size(); i += 2) {
+    builder.add_balancer({out[i], out[i + 1]});
+  }
+  return out;
+}
+
+std::vector<Wire> build_batcher_sort(NetworkBuilder& builder,
+                                     std::span<const Wire> wires) {
+  if (wires.size() <= 1) return {wires.begin(), wires.end()};
+  const std::size_t half = wires.size() / 2;
+  const std::vector<Wire> a = build_batcher_sort(builder, wires.first(half));
+  const std::vector<Wire> b = build_batcher_sort(builder, wires.subspan(half));
+  return build_odd_even_merge(builder, a, b);
+}
+
+Network make_batcher_network(std::size_t w) {
+  NetworkBuilder builder(w);
+  const std::vector<Wire> all = identity_order(w);
+  std::vector<Wire> out = build_batcher_sort(builder, all);
+  return std::move(builder).finish(std::move(out));
+}
+
+}  // namespace scn

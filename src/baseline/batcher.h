@@ -1,0 +1,28 @@
+// Batcher's odd-even mergesort network (2-comparators, arbitrary width,
+// depth O(log^2 w)). A pure sorting-network baseline: replacing its
+// comparators with balancers does NOT yield a counting network, which the
+// test suite demonstrates — the concrete instance of the paper's
+// "the converse is false" remark (§1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds the odd-even merge of two sorted (descending) sequences a, b of
+/// arbitrary lengths. Returns the merged logical order.
+[[nodiscard]] std::vector<Wire> build_odd_even_merge(NetworkBuilder& builder,
+                                                     std::span<const Wire> a,
+                                                     std::span<const Wire> b);
+
+/// Builds Batcher's odd-even mergesort over `wires` (any width >= 1).
+[[nodiscard]] std::vector<Wire> build_batcher_sort(NetworkBuilder& builder,
+                                                   std::span<const Wire> wires);
+
+/// Standalone sorting network of width w.
+[[nodiscard]] Network make_batcher_network(std::size_t w);
+
+}  // namespace scn

@@ -1,0 +1,53 @@
+#include "baseline/bitonic.h"
+
+#include <cassert>
+
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+std::vector<Wire> build_bitonic_merger(NetworkBuilder& builder,
+                                       std::span<const Wire> x,
+                                       std::span<const Wire> y) {
+  assert(x.size() == y.size() && !x.empty());
+  if (x.size() == 1) {
+    builder.add_balancer({x[0], y[0]});
+    return {x[0], y[0]};
+  }
+  // Even-indexed x's merge with odd-indexed y's and vice versa, then one
+  // layer of 2-balancers across the interleaved halves.
+  const auto xe = stride_subsequence_of<Wire>(x, 0, 2);
+  const auto xo = stride_subsequence_of<Wire>(x, 1, 2);
+  const auto ye = stride_subsequence_of<Wire>(y, 0, 2);
+  const auto yo = stride_subsequence_of<Wire>(y, 1, 2);
+  const std::vector<Wire> z0 = build_bitonic_merger(builder, xe, yo);
+  const std::vector<Wire> z1 = build_bitonic_merger(builder, xo, ye);
+  std::vector<Wire> out(x.size() + y.size());
+  for (std::size_t i = 0; i < z0.size(); ++i) {
+    builder.add_balancer({z0[i], z1[i]});
+    out[2 * i] = z0[i];
+    out[2 * i + 1] = z1[i];
+  }
+  return out;
+}
+
+std::vector<Wire> build_bitonic(NetworkBuilder& builder,
+                                std::span<const Wire> wires) {
+  assert(!wires.empty());
+  assert((wires.size() & (wires.size() - 1)) == 0 && "width must be 2^k");
+  if (wires.size() == 1) return {wires.begin(), wires.end()};
+  const std::size_t half = wires.size() / 2;
+  const std::vector<Wire> top = build_bitonic(builder, wires.first(half));
+  const std::vector<Wire> bottom = build_bitonic(builder, wires.subspan(half));
+  return build_bitonic_merger(builder, top, bottom);
+}
+
+Network make_bitonic_network(std::size_t log_w) {
+  const std::size_t w = std::size_t{1} << log_w;
+  NetworkBuilder builder(w);
+  const std::vector<Wire> all = identity_order(w);
+  std::vector<Wire> out = build_bitonic(builder, all);
+  return std::move(builder).finish(std::move(out));
+}
+
+}  // namespace scn

@@ -1,0 +1,28 @@
+// The bitonic counting network of Aspnes, Herlihy & Shavit (width 2^k,
+// depth k(k+1)/2, 2-balancers). The paper's Discussion (§6) compares the
+// new family against this classic construction; replacing balancers with
+// comparators yields Batcher's bitonic sorting network.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds Bitonic[w] over the logical input order `wires`; w = |wires| must
+/// be a power of two. Returns the logical output order.
+[[nodiscard]] std::vector<Wire> build_bitonic(NetworkBuilder& builder,
+                                              std::span<const Wire> wires);
+
+/// Builds the bitonic Merger[2m]: merges two step (sorted) sequences x, y of
+/// equal power-of-two length into one step sequence.
+[[nodiscard]] std::vector<Wire> build_bitonic_merger(NetworkBuilder& builder,
+                                                     std::span<const Wire> x,
+                                                     std::span<const Wire> y);
+
+/// Standalone Bitonic[2^log_w].
+[[nodiscard]] Network make_bitonic_network(std::size_t log_w);
+
+}  // namespace scn

@@ -1,0 +1,31 @@
+#include "baseline/bubble.h"
+
+#include <cassert>
+
+namespace scn {
+
+Network make_bubble_network(std::size_t w) {
+  assert(w >= 1);
+  NetworkBuilder builder(w);
+  for (std::size_t pass = 0; pass + 1 < w; ++pass) {
+    for (std::size_t i = 0; i + 1 < w - pass; ++i) {
+      builder.add_balancer(
+          {static_cast<Wire>(i), static_cast<Wire>(i + 1)});
+    }
+  }
+  return std::move(builder).finish_identity();
+}
+
+Network make_odd_even_transposition_network(std::size_t w) {
+  assert(w >= 1);
+  NetworkBuilder builder(w);
+  for (std::size_t layer = 0; layer < w; ++layer) {
+    for (std::size_t i = layer % 2; i + 1 < w; i += 2) {
+      builder.add_balancer(
+          {static_cast<Wire>(i), static_cast<Wire>(i + 1)});
+    }
+  }
+  return std::move(builder).finish_identity();
+}
+
+}  // namespace scn

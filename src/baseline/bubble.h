@@ -1,0 +1,24 @@
+// Bubble-sort style networks of 2-comparators.
+//
+// Figure 3 of the paper exhibits a sorting network (based on bubble sort)
+// that is NOT a counting network — the witness that the sorting->counting
+// direction of the isomorphism fails. These constructions reproduce that
+// counterexample; verify/counting_verify finds violating token
+// distributions for them.
+#pragma once
+
+#include "net/network.h"
+
+namespace scn {
+
+/// The sequential bubble-sort network: passes k = 0..w-2, each pass doing
+/// comparators (i, i+1) for i = 0..w-2-k. Sorts any input; fails to count
+/// for w >= 3.
+[[nodiscard]] Network make_bubble_network(std::size_t w);
+
+/// The odd-even transposition ("brick wall") network: w alternating layers
+/// of (even, even+1) and (odd, odd+1) comparators. Also sorts; also fails
+/// to count for w >= 3.
+[[nodiscard]] Network make_odd_even_transposition_network(std::size_t w);
+
+}  // namespace scn

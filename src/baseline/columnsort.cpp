@@ -1,0 +1,83 @@
+#include "baseline/columnsort.h"
+
+#include <cassert>
+#include <vector>
+
+namespace scn {
+namespace {
+
+/// Sorts every column of the sequence `seq` (interpreted as an r x c
+/// matrix in column-major order): one r-comparator per column.
+void sort_columns(NetworkBuilder& b, const std::vector<Wire>& seq,
+                  std::size_t r, std::size_t c) {
+  for (std::size_t j = 0; j < c; ++j) {
+    b.add_balancer(std::span<const Wire>(seq.data() + j * r, r));
+  }
+}
+
+}  // namespace
+
+bool columnsort_shape_valid(std::size_t r, std::size_t c) {
+  if (r < 1 || c < 1) return false;
+  const std::size_t cm1 = c - 1;
+  return r >= 2 * cm1 * cm1;
+}
+
+Network make_columnsort_network(std::size_t r, std::size_t c) {
+  assert(columnsort_shape_valid(r, c));
+  const std::size_t n = r * c;
+  NetworkBuilder b(n);
+  std::vector<Wire> seq = identity_order(n);  // column-major cells
+
+  // Step 1: sort columns.
+  sort_columns(b, seq, r, c);
+
+  // Step 2: transpose — pick up column by column, set down row by row.
+  // Old sequence position m = R*c + C lands at column-major slot C*r + R.
+  {
+    std::vector<Wire> next(n);
+    for (std::size_t rr = 0; rr < r; ++rr) {
+      for (std::size_t cc = 0; cc < c; ++cc) {
+        next[cc * r + rr] = seq[rr * c + cc];
+      }
+    }
+    seq = std::move(next);
+  }
+  // Step 3: sort columns.
+  sort_columns(b, seq, r, c);
+
+  // Step 4: untranspose (inverse of step 2).
+  {
+    std::vector<Wire> next(n);
+    for (std::size_t rr = 0; rr < r; ++rr) {
+      for (std::size_t cc = 0; cc < c; ++cc) {
+        next[rr * c + cc] = seq[cc * r + rr];
+      }
+    }
+    seq = std::move(next);
+  }
+  // Step 5: sort columns.
+  sort_columns(b, seq, r, c);
+
+  // Steps 6-8: shift by floor(r/2) into an r x (c+1) matrix whose first
+  // floor(r/2) slots are +inf sentinels (largest -> stay on top in the
+  // descending convention) and last ceil(r/2) are -inf; sort the columns
+  // of the shifted matrix; unshift. Sentinel slots never exchange with
+  // real elements, so the first and last shifted columns reduce to
+  // narrower comparators over their real residents.
+  {
+    const std::size_t s = r / 2;
+    // Virtual column j covers virtual indices [j*r, (j+1)*r); virtual
+    // index v holds real element v - s when s <= v < s + n.
+    for (std::size_t j = 0; j <= c; ++j) {
+      std::vector<Wire> col;
+      for (std::size_t i = j * r; i < (j + 1) * r; ++i) {
+        if (i >= s && i < s + n) col.push_back(seq[i - s]);
+      }
+      b.add_balancer(col);
+    }
+  }
+  return std::move(b).finish(std::move(seq));
+}
+
+}  // namespace scn

@@ -1,0 +1,26 @@
+// Leighton's Columnsort as a comparator network.
+//
+// §2 of the paper traces the k-comparator lineage to Knuth's question of
+// sorting k^2 elements with k-comparators. Columnsort is the classic
+// answer-shaped construction: n = r*c elements in an r x c matrix are
+// sorted by 4 column-sorting steps interleaved with fixed permutations
+// (transpose, untranspose, shift, unshift), valid whenever
+// r >= 2*(c-1)^2. In our gate model a column sort is ONE r-comparator, so
+// Columnsort is a depth-4 sorting network from r-comparators — a sharp
+// baseline for the sorting side of the trade-off tables (and, like the
+// bubble network, NOT a counting network, which the tests demonstrate).
+#pragma once
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Leighton's validity condition r >= 2*(c-1)^2 (with r, c >= 1).
+[[nodiscard]] bool columnsort_shape_valid(std::size_t r, std::size_t c);
+
+/// Builds the width-(r*c) Columnsort network. Output is descending in
+/// logical output order (column-major of the final matrix), matching the
+/// library convention. Precondition: columnsort_shape_valid(r, c).
+[[nodiscard]] Network make_columnsort_network(std::size_t r, std::size_t c);
+
+}  // namespace scn

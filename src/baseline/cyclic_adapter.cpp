@@ -1,0 +1,47 @@
+#include "baseline/cyclic_adapter.h"
+
+#include <cassert>
+
+namespace scn {
+
+CyclicCountingAdapter::CyclicCountingAdapter(const Network& base,
+                                             std::size_t width)
+    : linked_(base),
+      width_(width),
+      gate_state_(base.gate_count(), 0),
+      exits_(width, 0) {
+  assert(width >= 1 && width <= base.width());
+}
+
+std::size_t CyclicCountingAdapter::traverse(Wire in, std::size_t* passes_out) {
+  assert(in >= 0 && static_cast<std::size_t>(in) < width_);
+  const Network& net = linked_.network();
+  std::size_t passes = 0;
+  Wire wire = in;
+  while (true) {
+    ++passes;
+    std::int32_t gate = linked_.entry_gate(wire);
+    while (gate != LinkedNetwork::kExit) {
+      const auto g = static_cast<std::size_t>(gate);
+      const std::uint32_t p = net.gates()[g].width;
+      const auto slot = static_cast<std::size_t>(gate_state_[g]++ % p);
+      wire = linked_.slot_wire(g, slot);
+      gate = linked_.next_gate(g, slot);
+    }
+    const std::size_t pos = net.output_position(wire);
+    if (pos < width_) {
+      exits_[pos] += 1;
+      total_passes_ += passes;
+      total_tokens_ += 1;
+      if (passes_out != nullptr) *passes_out = passes;
+      return pos;
+    }
+    // Excess logical output pos re-enters on the input wire with the same
+    // logical index (the Aharonson-Attiya feedback wiring). All factories
+    // use the identity logical input order, so logical index pos is
+    // physical wire pos.
+    wire = static_cast<Wire>(pos);
+  }
+}
+
+}  // namespace scn

@@ -1,0 +1,55 @@
+// The cyclic arbitrary-width adaptation (§2 related work).
+//
+// Aharonson & Attiya obtained counting networks of arbitrary width w by
+// taking a standard width-W network (W = 2^k >= w) and wiring the excess
+// output wires w..W-1 back to the excess input wires: a token exiting on
+// an excess wire re-enters and keeps going until it exits on a real wire.
+// The paper's contribution is precisely that its networks are ACYCLIC —
+// fixed depth, no recirculation. This adapter makes the comparison
+// concrete and measurable: correctness matches, but tokens here have
+// unbounded worst-case path length and each recirculation re-crosses the
+// whole network.
+//
+// Because the structure is cyclic, quiescent behavior cannot be computed
+// by one-pass count propagation; tokens are routed individually.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/linked_network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+class CyclicCountingAdapter {
+ public:
+  /// Wraps `base` (width W) as a width-w counter, w <= W. The base must be
+  /// a counting network for the result to count.
+  CyclicCountingAdapter(const Network& base, std::size_t width);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Routes one token entering real wire `in` (< width()); returns the
+  /// real exit wire. `passes_out`, when non-null, receives the number of
+  /// traversals of the base network the token needed (1 = no
+  /// recirculation).
+  std::size_t traverse(Wire in, std::size_t* passes_out = nullptr);
+
+  /// Tokens that exited each real wire so far.
+  [[nodiscard]] std::vector<Count> exit_counts() const { return exits_; }
+
+  /// Total base-network passes over all tokens (the recirculation cost).
+  [[nodiscard]] std::uint64_t total_passes() const { return total_passes_; }
+  [[nodiscard]] std::uint64_t total_tokens() const { return total_tokens_; }
+
+ private:
+  LinkedNetwork linked_;
+  std::size_t width_;
+  std::vector<std::uint64_t> gate_state_;
+  std::vector<Count> exits_;
+  std::uint64_t total_passes_ = 0;
+  std::uint64_t total_tokens_ = 0;
+};
+
+}  // namespace scn

@@ -1,0 +1,33 @@
+#include "baseline/periodic.h"
+
+namespace scn {
+
+namespace {
+
+/// Block over the wire range [lo, lo+len): one layer pairing wire i with
+/// its mirror, then blocks on both halves (Dowd-Perl-Rudolph-Saks balanced
+/// merger; the AHS block network is its balancer isomorph).
+void append_block_range(NetworkBuilder& builder, std::size_t lo,
+                        std::size_t len) {
+  if (len < 2) return;
+  for (std::size_t i = 0; i < len / 2; ++i) {
+    builder.add_balancer({static_cast<Wire>(lo + i),
+                          static_cast<Wire>(lo + len - 1 - i)});
+  }
+  append_block_range(builder, lo, len / 2);
+  append_block_range(builder, lo + len / 2, len / 2);
+}
+
+}  // namespace
+
+void append_block(NetworkBuilder& builder, std::size_t log_w) {
+  append_block_range(builder, 0, std::size_t{1} << log_w);
+}
+
+Network make_periodic_network(std::size_t log_w) {
+  NetworkBuilder builder(std::size_t{1} << log_w);
+  for (std::size_t b = 0; b < log_w; ++b) append_block(builder, log_w);
+  return std::move(builder).finish_identity();
+}
+
+}  // namespace scn

@@ -1,0 +1,17 @@
+// The periodic counting network (Aspnes-Herlihy-Shavit): log w identical
+// Block[w] stages, each a butterfly of 2-balancers (bits high to low).
+// Width 2^k, depth k^2. A second classic baseline with a regular, pipelined
+// structure.
+#pragma once
+
+#include "net/network.h"
+
+namespace scn {
+
+/// One Block[w] stage appended over physical wires (identity logical order).
+void append_block(NetworkBuilder& builder, std::size_t log_w);
+
+/// The full periodic network: log_w consecutive blocks.
+[[nodiscard]] Network make_periodic_network(std::size_t log_w);
+
+}  // namespace scn

@@ -1,0 +1,29 @@
+// The inductive constructions of §4 are parameterized by "the network
+// C(p, q), given by assumption" — a width-(p*q) counting network used as the
+// induction base and inside the staircase-merger. A BaseFactory supplies it:
+//
+//   * K (§5.1) passes a factory emitting one (p*q)-balancer  (d = 1);
+//   * L (§5.2) passes a factory emitting R(p, q)              (d <= 16);
+//   * tests pass arbitrary factories to exercise Prop 1 generically.
+//
+// The factory receives the logical input order (`wires`, |wires| == p*q) and
+// must return the logical output order of a step-property-producing network
+// appended to the builder.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+using BaseFactory = std::function<std::vector<Wire>(
+    NetworkBuilder&, std::span<const Wire> wires, std::size_t p,
+    std::size_t q)>;
+
+/// The K base: a single balancer of width p*q across all wires (depth 1).
+[[nodiscard]] BaseFactory single_balancer_base();
+
+}  // namespace scn

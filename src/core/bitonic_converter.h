@@ -1,0 +1,31 @@
+// The bitonic-converter D(p, q) of §4.4.
+//
+// Input: a sequence of length p*q with the paper's *bitonic property*
+// (1-smooth with at most two transitions). Output: the step sequence.
+// Structure: arrange the input as a p x q matrix column-major, balance every
+// row (width q), then every column (width p); read out column-major.
+// Depth 2, balancer widths q and p.
+//
+// Used by the optimized staircase-merger (§4.3.1): after the exchange layer
+// ℓ the residual discrepancy is a bitonic sequence confined to one block,
+// which D converts to a step at depth 2 instead of a full C(p, q).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds D(p, q) over `x` (|x| == p*q); returns the logical output order.
+[[nodiscard]] std::vector<Wire> build_bitonic_converter(NetworkBuilder& builder,
+                                                        std::span<const Wire> x,
+                                                        std::size_t p,
+                                                        std::size_t q);
+
+/// Standalone D(p, q) with identity logical input (for tests/figures).
+[[nodiscard]] Network make_bitonic_converter_network(std::size_t p,
+                                                     std::size_t q);
+
+}  // namespace scn

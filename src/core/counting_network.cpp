@@ -1,0 +1,60 @@
+#include "core/counting_network.h"
+
+#include <cassert>
+
+#include "core/factorization.h"
+#include "core/merger.h"
+
+namespace scn {
+
+BaseFactory single_balancer_base() {
+  return [](NetworkBuilder& builder, std::span<const Wire> wires,
+            std::size_t p, std::size_t q) -> std::vector<Wire> {
+    assert(wires.size() == p * q);
+    (void)p;
+    (void)q;
+    builder.add_balancer(wires);
+    return {wires.begin(), wires.end()};
+  };
+}
+
+std::vector<Wire> build_counting(NetworkBuilder& builder,
+                                 std::span<const Wire> wires,
+                                 std::span<const std::size_t> factors,
+                                 const BaseFactory& base,
+                                 StaircaseVariant variant) {
+  const std::size_t n = factors.size();
+  assert(n >= 1);
+  assert(wires.size() == product(factors));
+
+  if (n == 1) {
+    builder.add_balancer(wires);
+    return {wires.begin(), wires.end()};
+  }
+  if (n == 2) {
+    return base(builder, wires, factors[0], factors[1]);
+  }
+
+  // p(n-1) copies of C(p0,...,p(n-2)) over consecutive chunks...
+  const std::size_t p_last = factors[n - 1];
+  const std::size_t chunk = wires.size() / p_last;
+  std::vector<std::vector<Wire>> ys(p_last);
+  for (std::size_t i = 0; i < p_last; ++i) {
+    const std::span<const Wire> sub = wires.subspan(i * chunk, chunk);
+    ys[i] = build_counting(builder, sub, factors.first(n - 1), base, variant);
+  }
+  // ...merged by M(p0,...,p(n-1)).
+  return build_merger(builder, ys, factors, base, variant);
+}
+
+Network make_counting_network(std::span<const std::size_t> factors,
+                              const BaseFactory& base,
+                              StaircaseVariant variant) {
+  const std::size_t w = product(factors);
+  NetworkBuilder builder(w);
+  const std::vector<Wire> all = identity_order(w);
+  std::vector<Wire> out = build_counting(builder, all, factors, base, variant);
+  return std::move(builder).finish(std::move(out));
+}
+
+}  // namespace scn

@@ -1,0 +1,34 @@
+// The counting network C(p0, ..., p(n-1)) of §4.1 (Proposition 1).
+//
+// Induction (n >= 3): split the width-w input into p(n-1) consecutive
+// subsequences, count each with C(p0,...,p(n-2)), and merge the step outputs
+// with M(p0,...,p(n-1)). Base (n == 2): the assumed network C(p0, p1) from
+// the BaseFactory. We additionally accept n == 1 (a single p0-balancer),
+// which the R(p, q) construction's degenerate cases need.
+//
+// Depth (Prop 1): (n-1) d + ((n-1)(n-2)/2) depth(S).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/base_factory.h"
+#include "core/staircase_merger.h"
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds C(factors) over the logical input order `wires`
+/// (|wires| == prod(factors)). Returns the logical output order.
+[[nodiscard]] std::vector<Wire> build_counting(NetworkBuilder& builder,
+                                               std::span<const Wire> wires,
+                                               std::span<const std::size_t> factors,
+                                               const BaseFactory& base,
+                                               StaircaseVariant variant);
+
+/// Standalone C(factors) with identity logical input order.
+[[nodiscard]] Network make_counting_network(std::span<const std::size_t> factors,
+                                            const BaseFactory& base,
+                                            StaircaseVariant variant);
+
+}  // namespace scn

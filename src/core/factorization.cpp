@@ -1,0 +1,142 @@
+#include "core/factorization.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace scn {
+
+std::vector<std::size_t> prime_factorization(std::size_t w) {
+  assert(w >= 2);
+  std::vector<std::size_t> out;
+  for (std::size_t p = 2; p * p <= w; ++p) {
+    while (w % p == 0) {
+      out.push_back(p);
+      w /= p;
+    }
+  }
+  if (w > 1) out.push_back(w);
+  return out;
+}
+
+namespace {
+
+void enumerate_factorizations(std::size_t w, std::size_t min_factor,
+                              std::size_t limit,
+                              std::vector<std::size_t>& cur,
+                              std::vector<std::vector<std::size_t>>& out) {
+  if (limit != 0 && out.size() >= limit) return;
+  for (std::size_t f = min_factor; f * f <= w; ++f) {
+    if (w % f != 0) continue;
+    cur.push_back(f);
+    enumerate_factorizations(w / f, f, limit, cur, out);
+    cur.pop_back();
+    if (limit != 0 && out.size() >= limit) return;
+  }
+  if (w >= min_factor) {
+    cur.push_back(w);
+    out.push_back(cur);
+    cur.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> all_factorizations(std::size_t w,
+                                                         std::size_t min_factor,
+                                                         std::size_t limit) {
+  assert(w >= 2 && min_factor >= 2);
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> cur;
+  enumerate_factorizations(w, min_factor, limit, cur, out);
+  return out;
+}
+
+std::vector<std::size_t> balanced_factorization(std::size_t w,
+                                                std::size_t target) {
+  assert(target >= 2);
+  std::vector<std::size_t> primes = prime_factorization(w);
+  // Pack primes largest-first into bins, never exceeding `target` unless a
+  // single prime already does.
+  std::sort(primes.rbegin(), primes.rend());
+  std::vector<std::size_t> bins;
+  for (const std::size_t p : primes) {
+    bool placed = false;
+    for (auto& b : bins) {
+      if (b * p <= target) {
+        b *= p;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) bins.push_back(p);
+  }
+  std::sort(bins.begin(), bins.end());
+  return bins;
+}
+
+std::size_t product(std::span<const std::size_t> factors) {
+  std::size_t w = 1;
+  for (const std::size_t f : factors) {
+    assert(f == 0 || w <= SIZE_MAX / f);
+    w *= f;
+  }
+  return w;
+}
+
+std::size_t max_factor(std::span<const std::size_t> factors) {
+  std::size_t m = 0;
+  for (const std::size_t f : factors) m = std::max(m, f);
+  return m;
+}
+
+std::size_t max_pair_product(std::span<const std::size_t> factors) {
+  if (factors.empty()) return 0;
+  if (factors.size() == 1) return factors[0];
+  // max(p_i * p_j) = product of the two largest factors.
+  std::size_t a = 0, b = 0;  // a >= b
+  for (const std::size_t f : factors) {
+    if (f >= a) {
+      b = a;
+      a = f;
+    } else if (f > b) {
+      b = f;
+    }
+  }
+  return a * b;
+}
+
+std::string format_factors(std::span<const std::size_t> factors) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (i) os << "x";
+    os << factors[i];
+  }
+  return os.str();
+}
+
+std::size_t k_depth_formula(std::size_t n) {
+  if (n <= 1) return 1;
+  // 1.5 n^2 - 3.5 n + 2 = (3n^2 - 7n + 4) / 2 = (n - 1)(3n - 4) / 2.
+  return (n - 1) * (3 * n - 4) / 2;
+}
+
+std::size_t l_depth_bound(std::size_t n) {
+  if (n <= 1) return 16;  // a single R(p, q) — not used, defensive
+  // 9.5 n^2 - 12.5 n + 3 = (19 n^2 - 25 n + 6) / 2.
+  return (19 * n * n - 25 * n + 6) / 2;
+}
+
+std::size_t c_depth_formula(std::size_t n, std::size_t d, std::size_t s) {
+  assert(n >= 2);
+  return (n - 1) * d + (n - 1) * (n - 2) / 2 * s;
+}
+
+std::size_t m_depth_formula(std::size_t n, std::size_t d, std::size_t s) {
+  assert(n >= 2);
+  return d + (n - 2) * s;
+}
+
+std::size_t bitonic_depth_formula(std::size_t k) { return k * (k + 1) / 2; }
+
+}  // namespace scn

@@ -1,0 +1,72 @@
+// Factorization utilities.
+//
+// The paper's headline feature is a *family* of networks of width
+// w = p0 * ... * p(n-1): each distinct factorization of w yields a different
+// network trading depth (grows with n) against balancer width (grows with
+// max p_i). This module enumerates and shapes factorizations so the family
+// can be explored programmatically (examples/factorization_explorer,
+// bench_tradeoff).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scn {
+
+/// Prime factorization of w >= 2 by trial division, ascending with
+/// multiplicity (e.g. 60 -> {2,2,3,5}).
+[[nodiscard]] std::vector<std::size_t> prime_factorization(std::size_t w);
+
+/// All unordered factorizations of w into factors >= min_factor, each
+/// returned in non-decreasing order; includes the trivial {w}.
+/// Intended for moderate w (the count is the multiplicative partition
+/// number). `limit` truncates enumeration defensively (0 = no limit).
+[[nodiscard]] std::vector<std::vector<std::size_t>> all_factorizations(
+    std::size_t w, std::size_t min_factor = 2, std::size_t limit = 0);
+
+/// Groups the prime factorization of w into factors as close to `target` as
+/// possible without exceeding it when avoidable (greedy largest-first
+/// packing). Useful for "give me a width-w network from ~p-wide balancers".
+[[nodiscard]] std::vector<std::size_t> balanced_factorization(
+    std::size_t w, std::size_t target);
+
+/// Product of the factors (checked against overflow via assert in debug).
+[[nodiscard]] std::size_t product(std::span<const std::size_t> factors);
+
+/// Largest factor.
+[[nodiscard]] std::size_t max_factor(std::span<const std::size_t> factors);
+
+/// Largest pairwise product max(p_i * p_j) over i != j (and p_i^2 when a
+/// factor repeats); for n == 1 returns the single factor. This is the
+/// balancer-width bound of the K construction.
+[[nodiscard]] std::size_t max_pair_product(std::span<const std::size_t> factors);
+
+/// "2x3x5" style rendering.
+[[nodiscard]] std::string format_factors(std::span<const std::size_t> factors);
+
+// ---- Depth formulas from the paper ----
+
+/// Prop 6: depth(K(p0..pn-1)) = 1.5 n^2 - 3.5 n + 2 (exact), n >= 2.
+/// We extend with n == 1 -> 1 (a single balancer).
+[[nodiscard]] std::size_t k_depth_formula(std::size_t n);
+
+/// Theorem 7: depth(L(p0..pn-1)) <= 9.5 n^2 - 12.5 n + 3, n >= 2.
+[[nodiscard]] std::size_t l_depth_bound(std::size_t n);
+
+/// Prop 1 with general base depth d and staircase depth s:
+///   depth(C) = (n-1) d + ((n-1)(n-2)/2) s.
+[[nodiscard]] std::size_t c_depth_formula(std::size_t n, std::size_t d,
+                                          std::size_t s);
+
+/// Prop 3: depth(M(p0..pn-1)) = d + (n-2) s, n >= 2.
+[[nodiscard]] std::size_t m_depth_formula(std::size_t n, std::size_t d,
+                                          std::size_t s);
+
+/// Depth of the classic bitonic counting network of width 2^k:
+/// k (k+1) / 2 (Aspnes-Herlihy-Shavit).
+[[nodiscard]] std::size_t bitonic_depth_formula(std::size_t k);
+
+}  // namespace scn

@@ -1,0 +1,92 @@
+#include "core/family.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+
+namespace scn {
+
+const char* to_string(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kK:
+      return "K";
+    case NetworkKind::kL:
+      return "L";
+  }
+  return "?";
+}
+
+std::string FamilyMember::label() const {
+  std::ostringstream os;
+  os << to_string(kind) << "(" << format_factors(factors) << ")";
+  return os.str();
+}
+
+FamilyMember make_family_member(std::span<const std::size_t> factors,
+                                NetworkKind kind) {
+  FamilyMember m;
+  m.factors.assign(factors.begin(), factors.end());
+  m.kind = kind;
+  const std::size_t n = factors.size();
+  switch (kind) {
+    case NetworkKind::kK:
+      m.network = make_k_network(factors);
+      m.formula_depth = k_depth_formula(n);
+      m.width_bound = max_pair_product(factors);
+      break;
+    case NetworkKind::kL:
+      m.network = make_l_network(factors);
+      m.formula_depth = l_depth_bound(n);
+      m.width_bound = max_factor(factors);
+      break;
+  }
+  return m;
+}
+
+std::vector<FamilyMember> enumerate_family(std::size_t w, NetworkKind kind,
+                                           std::size_t limit) {
+  std::vector<FamilyMember> out;
+  for (const auto& factors : all_factorizations(w, 2, limit)) {
+    out.push_back(make_family_member(factors, kind));
+  }
+  return out;
+}
+
+Network make_network_for_width(std::size_t w, std::size_t max_balancer,
+                               NetworkKind kind) {
+  assert(max_balancer >= 2);
+  // Search packing targets and keep the shallowest (fewest factors)
+  // feasible factorization; "feasible" means the construction's balancer
+  // bound fits the cap. When no factorization fits (e.g. a prime factor
+  // exceeds the cap), fall back to the one minimizing the bound.
+  std::vector<std::size_t> best;
+  std::size_t best_bound = 0;
+  bool best_feasible = false;
+  for (std::size_t target = 2; target <= std::max<std::size_t>(2, w);
+       ++target) {
+    const std::vector<std::size_t> factors = balanced_factorization(w, target);
+    const std::size_t bound = kind == NetworkKind::kK
+                                  ? max_pair_product(factors)
+                                  : max_factor(factors);
+    const bool feasible = bound <= max_balancer;
+    const bool better =
+        best.empty() ||
+        (feasible && !best_feasible) ||
+        (feasible == best_feasible &&
+         (feasible ? factors.size() < best.size() : bound < best_bound));
+    if (better) {
+      best = factors;
+      best_bound = bound;
+      best_feasible = feasible;
+    }
+    if (target >= w) break;
+  }
+  return kind == NetworkKind::kK ? make_k_network(best)
+                                 : make_l_network(best);
+}
+
+}  // namespace scn

@@ -1,0 +1,46 @@
+#include "core/k_network.h"
+
+#include <cassert>
+
+#include "core/counting_network.h"
+#include "core/factorization.h"
+
+namespace scn {
+
+std::vector<Wire> build_k_network(NetworkBuilder& builder,
+                                  std::span<const Wire> wires,
+                                  std::span<const std::size_t> factors) {
+  // Drop unit factors (degenerate quadrant support for R(p, q)).
+  std::vector<std::size_t> effective;
+  effective.reserve(factors.size());
+  for (const std::size_t f : factors) {
+    assert(f >= 1);
+    if (f >= 2) effective.push_back(f);
+  }
+  assert(wires.size() == product(effective));
+  if (effective.empty()) {
+    return {wires.begin(), wires.end()};  // width <= 1: identity
+  }
+  if (effective.size() <= 2) {
+    // C(p0) or C(p0, p1): a single balancer across everything.
+    builder.add_balancer(wires);
+    return {wires.begin(), wires.end()};
+  }
+  return build_counting(builder, wires, effective, single_balancer_base(),
+                        StaircaseVariant::kRebalanceCount);
+}
+
+Network make_k_network(std::span<const std::size_t> factors) {
+  const std::size_t w = product(factors);
+  NetworkBuilder builder(w);
+  const std::vector<Wire> all = identity_order(w);
+  std::vector<Wire> out = build_k_network(builder, all, factors);
+  return std::move(builder).finish(std::move(out));
+}
+
+Network make_k_network(std::initializer_list<std::size_t> factors) {
+  return make_k_network(std::span<const std::size_t>(factors.begin(),
+                                                     factors.size()));
+}
+
+}  // namespace scn

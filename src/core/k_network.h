@@ -1,0 +1,30 @@
+// The counting network K(p0, ..., p(n-1)) of §5.1 (Proposition 6).
+//
+// The generic C construction instantiated with C(p, q) = one (p*q)-balancer
+// (d = 1) and the kRebalanceCount staircase optimization (depth(S) = 3).
+// Balancer widths are bounded by max(p_i * p_j); the depth is exactly
+// 1.5 n^2 - 3.5 n + 2.
+//
+// K is both the fastest member of the paper's family when wide balancers
+// are acceptable and the inner engine of R(p, q) (§5.3).
+#pragma once
+
+#include <span>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds K(factors) over the logical input order `wires`. Factors equal to
+/// 1 are ignored; an empty/singleton effective factor list degrades to
+/// nothing / a single balancer, as §5.3 requires for degenerate quadrants.
+[[nodiscard]] std::vector<Wire> build_k_network(NetworkBuilder& builder,
+                                                std::span<const Wire> wires,
+                                                std::span<const std::size_t> factors);
+
+/// Standalone K(factors), identity logical input order. Requires all
+/// factors >= 2 and n >= 1.
+[[nodiscard]] Network make_k_network(std::span<const std::size_t> factors);
+[[nodiscard]] Network make_k_network(std::initializer_list<std::size_t> factors);
+
+}  // namespace scn

@@ -1,0 +1,45 @@
+#include "core/l_network.h"
+
+#include <cassert>
+
+#include "core/counting_network.h"
+#include "core/factorization.h"
+#include "core/r_network.h"
+
+namespace scn {
+
+BaseFactory r_network_base() {
+  return [](NetworkBuilder& builder, std::span<const Wire> wires,
+            std::size_t p, std::size_t q) -> std::vector<Wire> {
+    return build_r_network(builder, wires, p, q);
+  };
+}
+
+std::vector<Wire> build_l_network(NetworkBuilder& builder,
+                                  std::span<const Wire> wires,
+                                  std::span<const std::size_t> factors) {
+  assert(!factors.empty());
+  assert(wires.size() == product(factors));
+  if (factors.size() == 1) {
+    // A single p0-balancer (width = the factor itself, within the bound).
+    builder.add_balancer(wires);
+    return {wires.begin(), wires.end()};
+  }
+  return build_counting(builder, wires, factors, r_network_base(),
+                        StaircaseVariant::kRebalanceBitonic);
+}
+
+Network make_l_network(std::span<const std::size_t> factors) {
+  const std::size_t w = product(factors);
+  NetworkBuilder builder(w);
+  const std::vector<Wire> all = identity_order(w);
+  std::vector<Wire> out = build_l_network(builder, all, factors);
+  return std::move(builder).finish(std::move(out));
+}
+
+Network make_l_network(std::initializer_list<std::size_t> factors) {
+  return make_l_network(std::span<const std::size_t>(factors.begin(),
+                                                     factors.size()));
+}
+
+}  // namespace scn

@@ -1,0 +1,32 @@
+// The counting network L(p0, ..., p(n-1)) of §5.2 (Theorem 7).
+//
+// The generic C construction instantiated with C(p, q) = R(p, q) (depth
+// <= 16) and the kRebalanceBitonic staircase optimization (depth(S) <= 19).
+// All balancers have width <= max(p_i): this is the paper's headline
+// network — arbitrary width, balancers no wider than the largest factor,
+// depth <= 9.5 n^2 - 12.5 n + 3 with no hidden constants.
+#pragma once
+
+#include <span>
+
+#include "core/base_factory.h"
+#include "net/network.h"
+
+namespace scn {
+
+/// The BaseFactory emitting R(p, q) — exposed so tests can instantiate the
+/// generic C construction with it directly.
+[[nodiscard]] BaseFactory r_network_base();
+
+/// Builds L(factors) over the logical input order `wires`.
+[[nodiscard]] std::vector<Wire> build_l_network(NetworkBuilder& builder,
+                                                std::span<const Wire> wires,
+                                                std::span<const std::size_t> factors);
+
+/// Standalone L(factors), identity logical input order. Factors must all be
+/// >= 2; n >= 1 (n == 1 yields R-like degenerate handling via a single
+/// balancer, which already respects the width bound).
+[[nodiscard]] Network make_l_network(std::span<const std::size_t> factors);
+[[nodiscard]] Network make_l_network(std::initializer_list<std::size_t> factors);
+
+}  // namespace scn

@@ -1,0 +1,39 @@
+// The merger network M(p0, ..., p(n-1)) of §4.2 (Propositions 2-3).
+//
+// Inputs: p(n-1) sequences X_0..X_{p(n-1)-1}, each of length
+// w(n-2) = p0*...*p(n-2), each with the step property.
+// Output: the step sequence of length w(n-1).
+//
+// Induction (n >= 3): take p(n-2) copies of M(p0,...,p(n-3), p(n-1)); copy i
+// receives the stride subsequences X_j[i, p(n-2)] and emits Y_i. The Y_i
+// satisfy the p(n-1)-staircase property (Prop 2), so the staircase-merger
+// S(w(n-3), p(n-1), p(n-2)) combines them into the final step sequence.
+// Base (n == 2): M(p0, p1) is the assumed counting network C(p0, p1).
+//
+// Depth (Prop 3): d + (n-2) * depth(S).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/base_factory.h"
+#include "core/staircase_merger.h"
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds M(factors) over logical input orders `inputs` (one per input
+/// sequence, |inputs| == factors.back(), each of length prod(factors)/
+/// factors.back()). Returns the logical output order.
+[[nodiscard]] std::vector<Wire> build_merger(
+    NetworkBuilder& builder, std::span<const std::vector<Wire>> inputs,
+    std::span<const std::size_t> factors, const BaseFactory& base,
+    StaircaseVariant variant);
+
+/// Standalone M(factors): logical input sequence i occupies physical wires
+/// [i*len, (i+1)*len) where len = prod(factors)/factors.back().
+[[nodiscard]] Network make_merger_network(std::span<const std::size_t> factors,
+                                          const BaseFactory& base,
+                                          StaircaseVariant variant);
+
+}  // namespace scn

@@ -1,0 +1,62 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "perf/contention_model.h"
+
+namespace scn {
+
+std::vector<Plan> plan_candidates(const PlanRequirements& req) {
+  assert(req.width >= 2);
+  std::vector<Plan> plans;
+  const auto factorizations =
+      all_factorizations(req.width, 2, req.max_candidates);
+  for (const auto& factors : factorizations) {
+    for (const NetworkKind kind : {NetworkKind::kK, NetworkKind::kL}) {
+      const std::size_t bound = kind == NetworkKind::kK
+                                    ? max_pair_product(factors)
+                                    : std::max<std::size_t>(
+                                          2, max_factor(factors));
+      if (bound > req.max_balancer) continue;
+      Plan plan;
+      plan.kind = kind;
+      plan.factors = factors;
+      plan.network = kind == NetworkKind::kK ? make_k_network(factors)
+                                             : make_l_network(factors);
+      const ContentionEstimate est = estimate_contention(plan.network);
+      plan.predicted_latency =
+          est.predicted_latency(req.concurrency, req.alpha, req.beta);
+      std::ostringstream why;
+      why << to_string(kind) << "(" << format_factors(factors) << "): depth "
+          << plan.network.depth() << ", max balancer "
+          << plan.network.max_gate_width() << ", predicted latency "
+          << plan.predicted_latency << " at T=" << req.concurrency;
+      plan.rationale = why.str();
+      plans.push_back(std::move(plan));
+    }
+  }
+  std::sort(plans.begin(), plans.end(), [](const Plan& a, const Plan& b) {
+    if (a.predicted_latency != b.predicted_latency) {
+      return a.predicted_latency < b.predicted_latency;
+    }
+    // Tie-break: fewer gates, then narrower balancers.
+    if (a.network.gate_count() != b.network.gate_count()) {
+      return a.network.gate_count() < b.network.gate_count();
+    }
+    return a.network.max_gate_width() < b.network.max_gate_width();
+  });
+  return plans;
+}
+
+std::optional<Plan> plan_network(const PlanRequirements& req) {
+  auto plans = plan_candidates(req);
+  if (plans.empty()) return std::nullopt;
+  return std::move(plans.front());
+}
+
+}  // namespace scn

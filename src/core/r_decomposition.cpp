@@ -1,0 +1,43 @@
+#include "core/r_decomposition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/r_network.h"
+
+namespace scn {
+namespace {
+
+std::size_t half_up(std::size_t x) { return (x + 1) / 2; }
+
+}  // namespace
+
+bool RDecomposition::eq1() const {
+  const std::size_t r = std::max(hp, hq);
+  return r * r <= budget();
+}
+
+bool RDecomposition::eq2() const {
+  const std::size_t r = std::max(hp, hq);
+  const std::size_t s = std::max(rp, rq);
+  return r * half_up(s) <= budget();
+}
+
+bool RDecomposition::eq3() const {
+  const std::size_t s = std::max(rp, rq);
+  return half_up(s) * half_up(s) <= budget();
+}
+
+RDecomposition r_decompose(std::size_t p, std::size_t q) {
+  assert(p >= 2 && q >= 2);
+  RDecomposition d;
+  d.p = p;
+  d.q = q;
+  d.hp = integer_sqrt(p);
+  d.hq = integer_sqrt(q);
+  d.rp = p - d.hp * d.hp;
+  d.rq = q - d.hq * d.hq;
+  return d;
+}
+
+}  // namespace scn

@@ -1,0 +1,36 @@
+// Introspection of the R(p, q) quadrant decomposition (§5.3): the split
+// parameters and quadrant shapes, exposed so tests, docs and tools can
+// reason about the construction without re-deriving it.
+#pragma once
+
+#include <cstddef>
+
+namespace scn {
+
+struct RDecomposition {
+  std::size_t p = 0, q = 0;
+  std::size_t hp = 0, hq = 0;  ///< p̂ = floor(sqrt p), q̂
+  std::size_t rp = 0, rq = 0;  ///< p̄ = p - p̂², q̄
+
+  // Quadrant shapes (rows x cols).
+  std::size_t a_rows() const { return hp * hp; }
+  std::size_t a_cols() const { return hq * hq; }
+  std::size_t b_rows() const { return hp * hp; }
+  std::size_t b_cols() const { return rq; }
+  std::size_t c_rows() const { return rp; }
+  std::size_t c_cols() const { return hq * hq; }
+  std::size_t d_rows() const { return rp; }
+  std::size_t d_cols() const { return rq; }
+
+  /// max(p, q): the balancer-width budget of the construction.
+  std::size_t budget() const { return p > q ? p : q; }
+
+  /// The three appendix inequalities (Equations 1-3).
+  bool eq1() const;
+  bool eq2() const;
+  bool eq3() const;
+};
+
+[[nodiscard]] RDecomposition r_decompose(std::size_t p, std::size_t q);
+
+}  // namespace scn

@@ -1,0 +1,41 @@
+// The constant-depth counting network R(p, q) of §5.3.
+//
+// Width p*q, all balancers of width <= max(p, q), depth <= 16.
+//
+// Writing p̂ = floor(sqrt(p)), p̄ = p - p̂², and likewise q̂, q̄, the input is
+// viewed as a p x q matrix split into quadrants
+//     A (p̂² x q̂²)   B (p̂² x q̄)
+//     C (p̄  x q̂²)   D (p̄  x q̄)
+// Each quadrant is made step — A by K(p̂, p̂, q̂, q̂); B and C by a pair of
+// 3-factor K networks merged with a two-merger; D by four single balancers
+// merged with two-mergers — and quadrant results are merged pairwise by
+// two-mergers: (A,B), (C,D), then the final T(q, p̂², p̄). The appendix
+// inequalities (1)-(3) guarantee every balancer fits within max(p, q).
+//
+// Quadrants whose side variables hit 0 or 1 degrade to a single balancer or
+// to nothing, exactly as the paper's closing remark prescribes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Paper bound on depth(R).
+inline constexpr std::size_t kRDepthBound = 16;
+
+/// Builds R(p, q) over the logical input order `wires` (|wires| == p*q).
+/// Every appended balancer has width <= max(p, q).
+[[nodiscard]] std::vector<Wire> build_r_network(NetworkBuilder& builder,
+                                                std::span<const Wire> wires,
+                                                std::size_t p, std::size_t q);
+
+/// Standalone R(p, q) with identity logical input order.
+[[nodiscard]] Network make_r_network(std::size_t p, std::size_t q);
+
+/// floor(sqrt(x)) on integers (exposed for the appendix-inequality tests).
+[[nodiscard]] std::size_t integer_sqrt(std::size_t x);
+
+}  // namespace scn

@@ -1,0 +1,65 @@
+// The staircase-merger S(r, p, q) of §4.3, with the §4.3.1 optimizations.
+//
+// Inputs: q sequences X_0..X_{q-1}, each of length r*p, each with the step
+// property, jointly satisfying the p-staircase property
+// (0 <= sum(X_i) - sum(X_j) <= p for i < j).
+// Output: the step sequence of length r*p*q.
+//
+// The inputs form the columns of an (r*p) x q matrix A, partitioned into r
+// blocks A_0..A_{r-1} of p x q. Every block is first made step by a C(p, q)
+// from the BaseFactory. The variants then differ in how the residual
+// discrepancy (which spans at most two cyclically adjacent blocks) is fixed:
+//
+//   kTwoMerger       three layers of two-mergers T(p, q, q) over block pairs
+//                    (even pairs, odd pairs, wrap pair if r is odd);
+//                    depth d + 6 with (2q)- and p-balancers.
+//   kTwoMergerCapped same, with each T's row balancers substituted by
+//                    T(q, 1, 1) so all balancers are <= max(p, q) wide;
+//                    depth d + 9.
+//   kRebalanceCount  §4.3.1: one exchange layer ℓ of 2-balancers between the
+//                    last half of each block and the reversed first half of
+//                    the cyclically next block, then a second layer of
+//                    C(p, q) per block; depth 2d + 1.    (used by K)
+//   kRebalanceBitonic same ℓ layer, then a bitonic-converter D(p, q) per
+//                    block (Prop 4: the residual discrepancy is bitonic and
+//                    confined to one block); depth d + 3. (used by L)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/base_factory.h"
+#include "net/network.h"
+
+namespace scn {
+
+enum class StaircaseVariant : std::uint8_t {
+  kTwoMerger,
+  kTwoMergerCapped,
+  kRebalanceCount,
+  kRebalanceBitonic,
+};
+
+[[nodiscard]] const char* to_string(StaircaseVariant v);
+
+/// Depth of S(r, p, q) as a function of the base depth d (paper values;
+/// ASAP-measured depth never exceeds these).
+[[nodiscard]] std::size_t staircase_depth_formula(StaircaseVariant v,
+                                                  std::size_t d, std::size_t r);
+
+/// Builds S(r, p, q). `inputs` are the q logical input orders X_0..X_{q-1}
+/// (each of length r*p). Returns the logical output order (length r*p*q).
+[[nodiscard]] std::vector<Wire> build_staircase_merger(
+    NetworkBuilder& builder, std::span<const std::vector<Wire>> inputs,
+    std::size_t r, std::size_t p, std::size_t q, const BaseFactory& base,
+    StaircaseVariant variant);
+
+/// Standalone S(r, p, q): logical input i occupies physical wires
+/// [i*r*p, (i+1)*r*p) in order (for tests/figures).
+[[nodiscard]] Network make_staircase_merger_network(std::size_t r,
+                                                    std::size_t p,
+                                                    std::size_t q,
+                                                    const BaseFactory& base,
+                                                    StaircaseVariant variant);
+
+}  // namespace scn

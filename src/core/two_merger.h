@@ -1,0 +1,45 @@
+// The two-merger T(p, q0, q1) of §4.4 (Proposition 5).
+//
+// Inputs: step sequences X0 (length p*q0) and X1 (length p*q1).
+// Output: a step sequence of length p*(q0+q1).
+// Structure: arrange X0 as a p x q0 matrix column-major and X1 as a p x q1
+// matrix in *reverse* column-major order, abut them into a p x (q0+q1)
+// matrix, balance every row (width q0+q1), then every column (width p); the
+// result read column-major has the step property. Depth 2.
+//
+// A capped variant replaces each row balancer (width 2q when q0 == q1 == q)
+// by a T(q, 1, 1) sub-merger built from 2- and q-balancers (§4.3 closing
+// paragraph), raising depth to 3 but bounding balancer width by max(p, q).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Builds T(p, q0, q1) where q0 = x0.size()/p and q1 = x1.size()/p.
+/// Degenerate inputs are legal: an empty x0 or x1 returns the other order
+/// unchanged, and p == 1 degenerates to a single row balancer.
+/// Returns the logical output order (length x0.size() + x1.size()).
+[[nodiscard]] std::vector<Wire> build_two_merger(NetworkBuilder& builder,
+                                                 std::span<const Wire> x0,
+                                                 std::span<const Wire> x1,
+                                                 std::size_t p);
+
+/// The balancer-width-capped variant; requires q0 == q1 (the only case the
+/// paper needs, inside the naive staircase-merger). Row balancers of width
+/// 2q are replaced by T(q, 1, 1) sub-mergers; all gates have width <= max(p,
+/// q) (or 2). Depth 3.
+[[nodiscard]] std::vector<Wire> build_two_merger_capped(
+    NetworkBuilder& builder, std::span<const Wire> x0,
+    std::span<const Wire> x1, std::size_t p);
+
+/// Standalone network: T(p, q0, q1) whose logical inputs are x0 then x1 on
+/// physical wires 0..p(q0+q1)-1 (for unit tests and figures).
+[[nodiscard]] Network make_two_merger_network(std::size_t p, std::size_t q0,
+                                              std::size_t q1,
+                                              bool capped = false);
+
+}  // namespace scn

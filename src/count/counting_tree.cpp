@@ -1,0 +1,32 @@
+#include "count/counting_tree.h"
+
+namespace scn {
+
+std::size_t bit_reverse(std::size_t x, std::size_t bits) {
+  std::size_t out = 0;
+  for (std::size_t b = 0; b < bits; ++b) {
+    out = (out << 1) | ((x >> b) & 1u);
+  }
+  return out;
+}
+
+Network make_counting_tree_network(std::size_t log_w) {
+  const std::size_t w = std::size_t{1} << log_w;
+  NetworkBuilder b(w);
+  // Level l splits spans of length w / 2^l; a token on `base` either stays
+  // or hops to the span midpoint.
+  for (std::size_t l = 0; l < log_w; ++l) {
+    const std::size_t span = w >> l;
+    for (std::size_t base = 0; base < w; base += span) {
+      b.add_balancer({static_cast<Wire>(base),
+                      static_cast<Wire>(base + span / 2)});
+    }
+  }
+  std::vector<Wire> order(w);
+  for (std::size_t x = 0; x < w; ++x) {
+    order[bit_reverse(x, log_w)] = static_cast<Wire>(x);
+  }
+  return std::move(b).finish(std::move(order));
+}
+
+}  // namespace scn

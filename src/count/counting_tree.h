@@ -1,0 +1,56 @@
+// Counting trees: the single-entry cousin of counting networks.
+//
+// A balanced binary tree of 2-balancers (toggles) with w leaves routes the
+// i-th token entering the ROOT to leaf bitrev(i mod w); with per-leaf
+// tickets this yields a correct Fetch&Increment (values i + w*k), the
+// structure diffracting trees (Shavit & Zemach) optimize. Compared with a
+// counting network: only log w balancers on each path (vs O(log^2 w)), but
+// every token crosses the root toggle, so the root is a w-fraction-1
+// hotspot — the opposite end of the contention spectrum from the paper's
+// family.
+//
+// Note: the tree is NOT a counting network — its guarantee holds only for
+// tokens entering on wire 0 (the root). The tests demonstrate both facts.
+#pragma once
+
+#include "count/fetch_inc.h"
+#include "net/network.h"
+#include "sim/concurrent_sim.h"
+
+namespace scn {
+
+/// The tree as a Network over 2^log_w wires: the balancer of the node
+/// covering wires [base, base + 2^(log_w - l)) is {base, mid}; tokens must
+/// enter on wire 0. The logical output order is the bit-reversal
+/// permutation, so root-entry traffic exits with the step property.
+[[nodiscard]] Network make_counting_tree_network(std::size_t log_w);
+
+/// Bit reversal of x within `bits` bits (exposed for tests).
+[[nodiscard]] std::size_t bit_reverse(std::size_t x, std::size_t bits);
+
+/// Fetch&Increment backed by a counting tree (all tokens enter the root).
+class TreeCounter final : public FetchIncCounter {
+ public:
+  explicit TreeCounter(std::size_t log_w)
+      : net_(make_counting_tree_network(log_w)),
+        concurrent_(net_),
+        width_(std::size_t{1} << log_w) {}
+  // concurrent_ points into net_: the counter must stay put.
+  TreeCounter(const TreeCounter&) = delete;
+  TreeCounter& operator=(const TreeCounter&) = delete;
+
+  std::uint64_t next() override {
+    const ConcurrentNetwork::ExitEvent e = concurrent_.traverse(0);
+    return static_cast<std::uint64_t>(e.position) +
+           static_cast<std::uint64_t>(width_) * e.ticket;
+  }
+  [[nodiscard]] const char* name() const override { return "tree"; }
+  [[nodiscard]] const Network& network() const { return net_; }
+
+ private:
+  Network net_;
+  ConcurrentNetwork concurrent_;
+  std::size_t width_;
+};
+
+}  // namespace scn

@@ -1,0 +1,85 @@
+#include "net/analyze.h"
+
+#include <algorithm>
+
+namespace scn {
+
+std::vector<LayerProfile> layer_profiles(const Network& net) {
+  std::vector<LayerProfile> out(net.depth());
+  for (std::size_t l = 0; l < out.size(); ++l) out[l].layer = l + 1;
+  for (const Gate& g : net.gates()) {
+    LayerProfile& p = out[g.layer - 1];
+    p.gates += 1;
+    p.max_gate_width = std::max<std::size_t>(p.max_gate_width, g.width);
+    p.wires_touched += g.width;
+  }
+  return out;
+}
+
+WireUtilization wire_utilization(const Network& net) {
+  WireUtilization u;
+  u.gates_on_wire.assign(net.width(), 0);
+  for (const Gate& g : net.gates()) {
+    for (const Wire w : net.gate_wires(g)) {
+      u.gates_on_wire[static_cast<std::size_t>(w)] += 1;
+    }
+  }
+  if (!u.gates_on_wire.empty()) {
+    const auto [mn, mx] =
+        std::minmax_element(u.gates_on_wire.begin(), u.gates_on_wire.end());
+    u.min_gates = *mn;
+    u.max_gates = *mx;
+    u.mean_gates = static_cast<double>(net.wire_endpoint_count()) /
+                   static_cast<double>(net.width());
+  }
+  return u;
+}
+
+std::vector<std::size_t> critical_path(const Network& net) {
+  // Walk backwards from a deepest gate: at each step pick any predecessor
+  // gate (last gate before this one on one of its wires) with layer - 1.
+  const auto gates = net.gates();
+  if (gates.empty()) return {};
+  // last_gate_before[g][slot]: rebuild per-wire gate chains.
+  std::vector<std::vector<std::size_t>> chain(net.width());
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    for (const Wire w : net.gate_wires(gates[gi])) {
+      chain[static_cast<std::size_t>(w)].push_back(gi);
+    }
+  }
+  // Deepest gate.
+  std::size_t cur = 0;
+  for (std::size_t gi = 1; gi < gates.size(); ++gi) {
+    if (gates[gi].layer > gates[cur].layer) cur = gi;
+  }
+  std::vector<std::size_t> path = {cur};
+  while (gates[cur].layer > 1) {
+    const std::uint32_t want = gates[cur].layer - 1;
+    std::size_t pred = cur;
+    for (const Wire w : net.gate_wires(gates[cur])) {
+      const auto& c = chain[static_cast<std::size_t>(w)];
+      const auto it = std::find(c.begin(), c.end(), cur);
+      if (it != c.begin()) {
+        const std::size_t candidate = *(it - 1);
+        if (gates[candidate].layer == want) {
+          pred = candidate;
+          break;
+        }
+      }
+    }
+    if (pred == cur) break;  // unreachable for valid ASAP layers; defensive
+    path.push_back(pred);
+    cur = pred;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double occupancy(const Network& net) {
+  if (net.width() == 0 || net.depth() == 0) return 0.0;
+  return static_cast<double>(net.wire_endpoint_count()) /
+         (static_cast<double>(net.width()) *
+          static_cast<double>(net.depth()));
+}
+
+}  // namespace scn

@@ -1,0 +1,42 @@
+// Structural analysis of networks: per-layer profiles, wire utilization,
+// and critical paths. Used by the explorer example and the structure
+// benches; useful to anyone sizing a hardware or shared-memory deployment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+struct LayerProfile {
+  std::size_t layer = 0;           ///< 1-based
+  std::size_t gates = 0;
+  std::size_t max_gate_width = 0;
+  std::size_t wires_touched = 0;   ///< sum of gate widths in the layer
+};
+
+/// Per-layer gate/width/occupancy profile.
+[[nodiscard]] std::vector<LayerProfile> layer_profiles(const Network& net);
+
+struct WireUtilization {
+  /// gates_on_wire[w] = how many gates touch physical wire w.
+  std::vector<std::size_t> gates_on_wire;
+  std::size_t min_gates = 0;
+  std::size_t max_gates = 0;
+  double mean_gates = 0.0;
+};
+
+[[nodiscard]] WireUtilization wire_utilization(const Network& net);
+
+/// A longest gate-to-gate dependency chain (gate indices in order): the
+/// structural critical path realizing the ASAP depth. Empty for gateless
+/// networks.
+[[nodiscard]] std::vector<std::size_t> critical_path(const Network& net);
+
+/// Fraction of the width x depth area occupied by gate endpoints — 1.0
+/// means every wire is balanced at every layer (fully dense network).
+[[nodiscard]] double occupancy(const Network& net);
+
+}  // namespace scn

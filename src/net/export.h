@@ -1,0 +1,32 @@
+// Rendering of networks for inspection: Graphviz DOT and a wire-diagram
+// ASCII view in the style of the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Graphviz DOT rendering: one node per gate (labelled with its width and
+/// layer), one subgraph rank per layer, edges along wires. Input and output
+/// terminals are shown as point nodes.
+[[nodiscard]] std::string to_dot(const Network& net,
+                                 const std::string& title = "network");
+
+/// ASCII wire diagram: one row per physical wire, time flowing left to
+/// right, one column group per layer. Gates are drawn as vertical spans with
+/// '+' at touched wires and '|' across skipped wires, analogous to the
+/// figures in the paper. Intended for widths up to a few dozen wires.
+[[nodiscard]] std::string to_ascii(const Network& net);
+
+/// One-line structural summary: width/depth/gates/max gate width/histogram.
+[[nodiscard]] std::string summarize(const Network& net);
+
+/// SVG rendering in the style of the paper's figures: horizontal wires,
+/// one column group per layer, each gate a vertical segment with a filled
+/// dot on every touched wire. Output wire labels show the logical order.
+[[nodiscard]] std::string to_svg(const Network& net,
+                                 const std::string& title = "network");
+
+}  // namespace scn

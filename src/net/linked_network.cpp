@@ -1,0 +1,25 @@
+#include "net/linked_network.h"
+
+#include <cassert>
+
+namespace scn {
+
+LinkedNetwork::LinkedNetwork(const Network& net) : net_(&net) {
+  const auto gates = net.gates();
+  // Walk gates in reverse topological order, tracking the most recent (i.e.
+  // next-in-forward-order) gate seen per wire.
+  std::vector<std::int32_t> upcoming(net.width(), kExit);
+  next_.assign(net.wire_endpoint_count(), kExit);
+  for (std::size_t gi = gates.size(); gi-- > 0;) {
+    const Gate& g = gates[gi];
+    const auto ws = net.gate_wires(g);
+    for (std::size_t s = 0; s < ws.size(); ++s) {
+      const auto w = static_cast<std::size_t>(ws[s]);
+      next_[g.first + s] = upcoming[w];
+      upcoming[w] = static_cast<std::int32_t>(gi);
+    }
+  }
+  entry_ = std::move(upcoming);
+}
+
+}  // namespace scn

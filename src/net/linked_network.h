@@ -1,0 +1,46 @@
+// Successor-linked view of a Network for token routing.
+//
+// Token simulators (sequential adversarial and multithreaded) need to follow
+// a token hop by hop: enter on a physical wire, reach the first gate on that
+// wire, be switched to one of the gate's wires, continue to the next gate on
+// that wire, and eventually exit. This view precomputes, for every gate
+// output slot, the next gate on that slot's physical wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+class LinkedNetwork {
+ public:
+  static constexpr std::int32_t kExit = -1;
+
+  explicit LinkedNetwork(const Network& net);
+
+  /// First gate on physical input wire w, or kExit if the wire is untouched.
+  [[nodiscard]] std::int32_t entry_gate(Wire w) const {
+    return entry_[static_cast<std::size_t>(w)];
+  }
+
+  /// The gate following gate `g`'s slot `slot` on that slot's wire, or kExit.
+  [[nodiscard]] std::int32_t next_gate(std::size_t g, std::size_t slot) const {
+    return next_[net_->gates()[g].first + slot];
+  }
+
+  /// Physical wire of gate g's slot.
+  [[nodiscard]] Wire slot_wire(std::size_t g, std::size_t slot) const {
+    return net_->gate_wires(g)[slot];
+  }
+
+  [[nodiscard]] const Network& network() const { return *net_; }
+
+ private:
+  const Network* net_;
+  std::vector<std::int32_t> entry_;  // per physical wire
+  std::vector<std::int32_t> next_;   // flattened, parallel to gate wires
+};
+
+}  // namespace scn

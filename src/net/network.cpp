@@ -1,0 +1,143 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace scn {
+
+NetworkBuilder::NetworkBuilder(std::size_t width) : wire_layer_(width, 0) {}
+
+void NetworkBuilder::add_balancer(std::span<const Wire> wires) {
+  if (wires.size() <= 1) return;  // identity gate: nothing to balance
+  std::uint32_t layer = 0;
+  for (const Wire w : wires) {
+    assert(w >= 0 && static_cast<std::size_t>(w) < width());
+    layer = std::max(layer, wire_layer_[static_cast<std::size_t>(w)]);
+  }
+  layer += 1;
+  Gate g;
+  g.first = static_cast<std::uint32_t>(gate_wires_.size());
+  g.width = static_cast<std::uint32_t>(wires.size());
+  g.layer = layer;
+  gates_.push_back(g);
+  gate_wires_.insert(gate_wires_.end(), wires.begin(), wires.end());
+  for (const Wire w : wires) wire_layer_[static_cast<std::size_t>(w)] = layer;
+  depth_ = std::max(depth_, layer);
+}
+
+void NetworkBuilder::add_balancer(std::initializer_list<Wire> wires) {
+  add_balancer(std::span<const Wire>(wires.begin(), wires.size()));
+}
+
+Network NetworkBuilder::finish(std::vector<Wire> output_order) && {
+  assert(output_order.size() == width());
+  Network n;
+  n.width_ = width();
+  n.depth_ = depth_;
+  n.gates_ = std::move(gates_);
+  n.gate_wires_ = std::move(gate_wires_);
+  n.output_order_ = std::move(output_order);
+  n.inverse_output_order_.assign(n.width_, 0);
+  for (std::size_t i = 0; i < n.width_; ++i) {
+    n.inverse_output_order_[static_cast<std::size_t>(n.output_order_[i])] = i;
+  }
+  n.max_gate_width_ = 0;
+  for (const Gate& g : n.gates_) {
+    n.max_gate_width_ = std::max(n.max_gate_width_, g.width);
+  }
+  return n;
+}
+
+Network NetworkBuilder::finish_identity() && {
+  return std::move(*this).finish(identity_order(width()));
+}
+
+std::vector<std::size_t> Network::gate_width_histogram() const {
+  std::vector<std::size_t> hist(max_gate_width_ + 1, 0);
+  for (const Gate& g : gates_) hist[g.width] += 1;
+  return hist;
+}
+
+std::string Network::validate() const {
+  std::ostringstream err;
+  if (output_order_.size() != width_) {
+    err << "output order size " << output_order_.size() << " != width "
+        << width_;
+    return err.str();
+  }
+  {
+    std::vector<bool> seen(width_, false);
+    for (const Wire w : output_order_) {
+      if (w < 0 || static_cast<std::size_t>(w) >= width_) {
+        err << "output order wire " << w << " out of range";
+        return err.str();
+      }
+      if (seen[static_cast<std::size_t>(w)]) {
+        err << "output order repeats wire " << w;
+        return err.str();
+      }
+      seen[static_cast<std::size_t>(w)] = true;
+    }
+  }
+  std::vector<std::uint32_t> wire_layer(width_, 0);
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    const Gate& g = gates_[gi];
+    if (g.width < 2) {
+      err << "gate " << gi << " has width " << g.width << " < 2";
+      return err.str();
+    }
+    auto ws = gate_wires(g);
+    std::vector<Wire> sorted(ws.begin(), ws.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      err << "gate " << gi << " repeats a wire";
+      return err.str();
+    }
+    std::uint32_t expect = 0;
+    for (const Wire w : ws) {
+      if (w < 0 || static_cast<std::size_t>(w) >= width_) {
+        err << "gate " << gi << " wire " << w << " out of range";
+        return err.str();
+      }
+      expect = std::max(expect, wire_layer[static_cast<std::size_t>(w)]);
+    }
+    expect += 1;
+    if (g.layer != expect) {
+      err << "gate " << gi << " layer " << g.layer << " != ASAP layer "
+          << expect;
+      return err.str();
+    }
+    for (const Wire w : ws) wire_layer[static_cast<std::size_t>(w)] = g.layer;
+  }
+  const std::uint32_t real_depth =
+      gates_.empty()
+          ? 0
+          : std::max_element(gates_.begin(), gates_.end(),
+                             [](const Gate& a, const Gate& b) {
+                               return a.layer < b.layer;
+                             })
+                ->layer;
+  if (depth_ != real_depth) {
+    err << "recorded depth " << depth_ << " != max layer " << real_depth;
+    return err.str();
+  }
+  return {};
+}
+
+std::vector<std::vector<std::size_t>> Network::layers() const {
+  std::vector<std::vector<std::size_t>> out(depth_);
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    out[gates_[gi].layer - 1].push_back(gi);
+  }
+  return out;
+}
+
+std::vector<Wire> identity_order(std::size_t w) {
+  std::vector<Wire> out(w);
+  std::iota(out.begin(), out.end(), Wire{0});
+  return out;
+}
+
+}  // namespace scn

@@ -1,0 +1,36 @@
+// Plain-text network serialization.
+//
+// Format (line oriented, '#' comments allowed):
+//   scnet 1
+//   width <w>
+//   gate <wire> <wire> ...        (one line per gate, topological order)
+//   output <wire> ... <wire>      (logical output order; optional, defaults
+//                                  to identity)
+//
+// Deterministic round-trip: parse(serialize(net)) reproduces the network
+// gate for gate (layers are recomputed, matching because layering is ASAP).
+// Lets users version networks, ship them to other tools, or hand-author
+// small ones.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Writes the textual form of `net`.
+[[nodiscard]] std::string serialize_network(const Network& net);
+
+struct ParseResult {
+  std::optional<Network> network;  ///< nullopt on error
+  std::string error;               ///< diagnostic with line number
+};
+
+/// Parses the textual form. All structural errors (bad width, out-of-range
+/// or duplicate wires, bad output order) are reported, never asserted.
+[[nodiscard]] ParseResult parse_network(const std::string& text);
+
+}  // namespace scn

@@ -1,0 +1,59 @@
+#include "net/transform.h"
+
+#include <cassert>
+#include <vector>
+
+namespace scn {
+
+Network compose(const Network& first, const Network& second) {
+  assert(first.width() == second.width());
+  NetworkBuilder b(first.width());
+  for (const Gate& g : first.gates()) {
+    b.add_balancer(first.gate_wires(g));
+  }
+  // second's logical input i rides first's logical output i, i.e. second's
+  // physical wire j maps to physical wire first.output_order()[j].
+  const auto map = first.output_order();
+  std::vector<Wire> wires;
+  for (const Gate& g : second.gates()) {
+    wires.clear();
+    for (const Wire w : second.gate_wires(g)) {
+      wires.push_back(map[static_cast<std::size_t>(w)]);
+    }
+    b.add_balancer(wires);
+  }
+  std::vector<Wire> out(first.width());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] =
+        map[static_cast<std::size_t>(second.output_order()[i])];
+  }
+  return std::move(b).finish(std::move(out));
+}
+
+Network relabel(const Network& net, std::span<const Wire> perm) {
+  assert(perm.size() == net.width());
+  NetworkBuilder b(net.width());
+  std::vector<Wire> wires;
+  for (const Gate& g : net.gates()) {
+    wires.clear();
+    for (const Wire w : net.gate_wires(g)) {
+      wires.push_back(perm[static_cast<std::size_t>(w)]);
+    }
+    b.add_balancer(wires);
+  }
+  std::vector<Wire> out(net.width());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = perm[static_cast<std::size_t>(net.output_order()[i])];
+  }
+  return std::move(b).finish(std::move(out));
+}
+
+Network prefix_layers(const Network& net, std::size_t layer_count) {
+  NetworkBuilder b(net.width());
+  for (const Gate& g : net.gates()) {
+    if (g.layer <= layer_count) b.add_balancer(net.gate_wires(g));
+  }
+  return std::move(b).finish_identity();
+}
+
+}  // namespace scn

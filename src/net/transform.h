@@ -1,0 +1,37 @@
+// Structural network transformations.
+//
+// compose(A, B): the network that feeds A's logical outputs into B's
+// logical inputs — the "stacking" operation used throughout the paper
+// (e.g. the periodic network is compose of identical blocks, and any
+// counting network composed after any balancing network still counts).
+//
+// relabel(net, perm): the same topology on permuted physical wires —
+// networks are equivalence classes under wire relabeling; the tests use
+// this to check that behavior is invariant.
+#pragma once
+
+#include <span>
+
+#include "net/network.h"
+
+namespace scn {
+
+/// Sequential composition: logical output i of `first` becomes logical
+/// input i of `second`. Widths must match. The result's logical input
+/// order is `first`'s (identity over physical wires), and its logical
+/// output order composes both.
+[[nodiscard]] Network compose(const Network& first, const Network& second);
+
+/// Rebuilds `net` with physical wire w renamed to perm[w] (perm must be a
+/// permutation of 0..width-1). Logical orders are renamed accordingly, so
+/// behavior in logical terms is unchanged.
+[[nodiscard]] Network relabel(const Network& net, std::span<const Wire> perm);
+
+/// The subnetwork consisting of the first `layer_count` ASAP layers, with
+/// identity-composed output order (logical output i = physical wire i's
+/// position under the ORIGINAL output order). Useful for inspecting
+/// construction prefixes.
+[[nodiscard]] Network prefix_layers(const Network& net,
+                                    std::size_t layer_count);
+
+}  // namespace scn

@@ -1,0 +1,58 @@
+#include "perf/contention_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scn {
+
+std::vector<GateTraffic> gate_traffic(const Network& net) {
+  // wire_prob[w] = probability a uniformly-random token is currently
+  // travelling on physical wire w when reaching this prefix of the network.
+  std::vector<double> wire_prob(net.width(),
+                                net.width() ? 1.0 / static_cast<double>(
+                                                  net.width())
+                                            : 0.0);
+  std::vector<GateTraffic> out;
+  out.reserve(net.gate_count());
+  const auto gates = net.gates();
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const auto ws = net.gate_wires(gates[gi]);
+    double inflow = 0.0;
+    for (const Wire w : ws) inflow += wire_prob[static_cast<std::size_t>(w)];
+    const double share = inflow / static_cast<double>(ws.size());
+    for (const Wire w : ws) wire_prob[static_cast<std::size_t>(w)] = share;
+    out.push_back({gi, inflow});
+  }
+  return out;
+}
+
+ContentionEstimate estimate_contention(const Network& net) {
+  ContentionEstimate est;
+  const auto traffic = gate_traffic(net);
+  double sum = 0.0;
+  for (const GateTraffic& t : traffic) {
+    est.hottest_gate_fraction = std::max(est.hottest_gate_fraction, t.fraction);
+    sum += t.fraction;
+  }
+  if (!traffic.empty()) {
+    est.mean_gate_fraction = sum / static_cast<double>(traffic.size());
+  }
+  // Expected hops per token = sum over gates of the probability the token
+  // crosses that gate = sum of traffic fractions.
+  est.hops_per_token = sum;
+  return est;
+}
+
+double latency_crossover(const ContentionEstimate& a,
+                         const ContentionEstimate& b, double alpha,
+                         double beta, double t_max) {
+  // a(T) = hops_a * alpha + (T-1) * hot_a * beta; solve a(T) == b(T).
+  const double slope = (a.hottest_gate_fraction - b.hottest_gate_fraction) *
+                       beta;
+  const double offset = (b.hops_per_token - a.hops_per_token) * alpha;
+  if (slope == 0.0) return -1.0;
+  const double t = 1.0 + offset / slope;
+  return (t > 1.0 && t <= t_max) ? t : -1.0;
+}
+
+}  // namespace scn

@@ -1,0 +1,68 @@
+// Analytical contention / cost model for shared-memory balancing networks.
+//
+// In the shared-memory deployment every balancer is one fetch-and-add word.
+// With T concurrent tokens in steady state, the expected load on a balancer
+// is proportional to the fraction of traffic crossing it. Because balancers
+// split traffic evenly, a width-p balancer at layer l of a width-w network
+// sees p/w of the tokens entering its layer, and each token performs
+// depth-many fetch-adds. This module computes:
+//
+//   * per-gate steady-state traffic fractions,
+//   * the memory-contention figure of Dwork-Herlihy-Waarts style analyses
+//     (max over gates of traffic x concurrency),
+//   * predicted latency/throughput for a simple alpha-beta cost model,
+//
+// which is what makes the family trade-off (paper §1: "optimal performance
+// for a fixed w is achieved by balancers of intermediate size", citing
+// Felten et al. [9]) quantitative: wider balancers mean fewer layers
+// (lower latency) but more tokens funneled through each hot word (higher
+// contention).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+struct GateTraffic {
+  std::size_t gate = 0;     ///< gate index
+  double fraction = 0.0;    ///< share of all tokens crossing this gate
+};
+
+/// Steady-state traffic share per gate under uniformly random input wires:
+/// exact propagation of per-wire probabilities through the balancers
+/// (a width-p gate forwards 1/p of its aggregate inflow per output).
+[[nodiscard]] std::vector<GateTraffic> gate_traffic(const Network& net);
+
+struct ContentionEstimate {
+  double hottest_gate_fraction = 0.0;  ///< max traffic share over gates
+  double mean_gate_fraction = 0.0;
+  /// Expected fetch-adds per token (== mean path length over wires).
+  double hops_per_token = 0.0;
+  /// Predicted completion time per token for T concurrent tokens under an
+  /// alpha-beta model: hops * alpha + (T-1) * hottest_fraction * beta —
+  /// alpha is the per-hop base cost, beta the serialization cost of one
+  /// fetch-add on a contended word, and a lone token (T = 1) pays no
+  /// contention.
+  double predicted_latency(double concurrency, double alpha,
+                           double beta) const {
+    const double contenders = concurrency > 1.0 ? concurrency - 1.0 : 0.0;
+    return hops_per_token * alpha +
+           contenders * hottest_gate_fraction * beta;
+  }
+};
+
+/// Aggregates gate_traffic into the summary figures above.
+[[nodiscard]] ContentionEstimate estimate_contention(const Network& net);
+
+/// For a family sweep: the concurrency level at which `a`'s predicted
+/// latency first exceeds `b`'s (the crossover the paper's trade-off is
+/// about), or a negative value if they never cross for T in (0, t_max].
+[[nodiscard]] double latency_crossover(const ContentionEstimate& a,
+                                       const ContentionEstimate& b,
+                                       double alpha, double beta,
+                                       double t_max = 1e6);
+
+}  // namespace scn

@@ -1,0 +1,129 @@
+#include "seq/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace scn {
+
+std::vector<Count> random_step_sequence(std::mt19937_64& rng, std::size_t w,
+                                        Count max_total) {
+  std::uniform_int_distribution<Count> dist(0, max_total);
+  return step_sequence(w, dist(rng));
+}
+
+std::vector<Count> random_bitonic_sequence(std::mt19937_64& rng, std::size_t w,
+                                           Count base) {
+  // Pick the positions of at most two transitions: values are
+  // base+1 on a (possibly wrapped-at-neither-end) middle block, or the
+  // complement. Enumerate the canonical shapes:
+  //   [hi^a lo^b hi^c] with a+b+c = w  (two transitions, ends high)
+  //   [lo^a hi^b lo^c] with a+b+c = w  (two transitions, ends low)
+  // One or zero transitions are degenerate cases of the above.
+  std::uniform_int_distribution<std::size_t> pos(0, w);
+  std::size_t i = pos(rng);
+  std::size_t j = pos(rng);
+  if (i > j) std::swap(i, j);
+  const bool ends_high = std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+  std::vector<Count> out(w, ends_high ? base + 1 : base);
+  for (std::size_t k = i; k < j; ++k) out[k] = ends_high ? base : base + 1;
+  assert(has_bitonic_property(out));
+  return out;
+}
+
+std::vector<std::vector<Count>> random_staircase_family(std::mt19937_64& rng,
+                                                        std::size_t q,
+                                                        std::size_t w, Count k,
+                                                        Count max_total) {
+  // Choose a base total t, then per-sequence totals t + d_i with d_i in
+  // [0, k] and d non-increasing in i so that earlier sequences carry the
+  // excess (the paper's staircase orientation: sum(X_i) >= sum(X_j), i < j).
+  std::uniform_int_distribution<Count> base(0, max_total);
+  std::uniform_int_distribution<Count> delta(0, k);
+  const Count t = base(rng);
+  std::vector<Count> deltas(q);
+  for (auto& d : deltas) d = delta(rng);
+  std::sort(deltas.rbegin(), deltas.rend());
+  std::vector<std::vector<Count>> out;
+  out.reserve(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    out.push_back(step_sequence(w, t + deltas[i]));
+  }
+  assert(has_staircase_property(out, k));
+  return out;
+}
+
+std::vector<Count> random_count_vector(std::mt19937_64& rng, std::size_t w,
+                                       Count total) {
+  std::vector<Count> out(w, 0);
+  std::uniform_int_distribution<std::size_t> wire(0, w - 1);
+  for (Count t = 0; t < total; ++t) out[wire(rng)] += 1;
+  return out;
+}
+
+std::vector<std::vector<Count>> structured_count_vectors(std::size_t w,
+                                                         Count total) {
+  std::vector<std::vector<Count>> out;
+  auto push = [&](std::vector<Count> v) {
+    assert(std::accumulate(v.begin(), v.end(), Count{0}) == total);
+    out.push_back(std::move(v));
+  };
+
+  // All tokens on the first wire / the last wire / the middle wire.
+  for (std::size_t wire : {std::size_t{0}, w - 1, w / 2}) {
+    std::vector<Count> v(w, 0);
+    v[wire] = total;
+    push(std::move(v));
+  }
+  // The already-step distribution (must be preserved).
+  push(step_sequence(w, total));
+  // The reversed step distribution.
+  {
+    auto v = step_sequence(w, total);
+    std::reverse(v.begin(), v.end());
+    push(std::move(v));
+  }
+  // Even split with remainder at the back.
+  {
+    std::vector<Count> v(w, total / static_cast<Count>(w));
+    v.back() += total % static_cast<Count>(w);
+    push(std::move(v));
+  }
+  // Alternating heavy/empty wires.
+  {
+    std::vector<Count> v(w, 0);
+    const std::size_t heavy = (w + 1) / 2;
+    const Count per = total / static_cast<Count>(heavy);
+    Count rem = total - per * static_cast<Count>(heavy);
+    for (std::size_t i = 0; i < w; i += 2) {
+      v[i] = per + (rem > 0 ? 1 : 0);
+      if (rem > 0) --rem;
+    }
+    push(std::move(v));
+  }
+  return out;
+}
+
+std::vector<Count> random_permutation(std::mt19937_64& rng, std::size_t w) {
+  std::vector<Count> out(w);
+  std::iota(out.begin(), out.end(), Count{0});
+  std::shuffle(out.begin(), out.end(), rng);
+  return out;
+}
+
+std::vector<Count> random_values(std::mt19937_64& rng, std::size_t w, Count lo,
+                                 Count hi) {
+  std::uniform_int_distribution<Count> dist(lo, hi);
+  std::vector<Count> out(w);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+std::vector<Count> binary_vector(std::size_t w, std::uint64_t j) {
+  assert(w <= 30);
+  std::vector<Count> out(w);
+  for (std::size_t i = 0; i < w; ++i) out[i] = (j >> i) & 1u;
+  return out;
+}
+
+}  // namespace scn

@@ -1,0 +1,59 @@
+// Deterministic, seedable generators for sequences and workloads used by the
+// test suite and the benchmark harness. All generators take an explicit
+// std::mt19937_64 so every test and benchmark run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+/// A random step sequence of length w: the unique step sequence with a
+/// uniformly random total in [0, max_total].
+[[nodiscard]] std::vector<Count> random_step_sequence(std::mt19937_64& rng,
+                                                      std::size_t w,
+                                                      Count max_total);
+
+/// A random 1-smooth bitonic sequence of length w (paper's bitonic property:
+/// 1-smooth, at most two transitions), values in {base, base+1}.
+[[nodiscard]] std::vector<Count> random_bitonic_sequence(std::mt19937_64& rng,
+                                                         std::size_t w,
+                                                         Count base);
+
+/// q random step sequences of length w whose totals satisfy the k-staircase
+/// property (sums non-increasing, spread <= k).
+[[nodiscard]] std::vector<std::vector<Count>> random_staircase_family(
+    std::mt19937_64& rng, std::size_t q, std::size_t w, Count k,
+    Count max_total);
+
+/// A random vector of per-wire token counts with the given total, i.e. total
+/// tokens thrown uniformly onto w wires.
+[[nodiscard]] std::vector<Count> random_count_vector(std::mt19937_64& rng,
+                                                     std::size_t w,
+                                                     Count total);
+
+/// Structured "adversarial" count vectors exercised by the counting
+/// verifiers: all tokens on one wire, alternating wires, front/back loaded,
+/// near-step, etc. Returns several vectors, all with the given total.
+[[nodiscard]] std::vector<std::vector<Count>> structured_count_vectors(
+    std::size_t w, Count total);
+
+/// A uniformly random permutation of 0..w-1 (used by sorting tests).
+[[nodiscard]] std::vector<Count> random_permutation(std::mt19937_64& rng,
+                                                    std::size_t w);
+
+/// A random vector of w values drawn from [lo, hi] with duplicates allowed.
+[[nodiscard]] std::vector<Count> random_values(std::mt19937_64& rng,
+                                               std::size_t w, Count lo,
+                                               Count hi);
+
+/// Enumerates all binary (0/1) vectors of length w. Intended for the 0-1
+/// principle exhaustive checks; requires w <= 30. Vector j has bit i of j
+/// at position i.
+[[nodiscard]] std::vector<Count> binary_vector(std::size_t w, std::uint64_t j);
+
+}  // namespace scn

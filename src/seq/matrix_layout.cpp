@@ -1,0 +1,41 @@
+#include "seq/matrix_layout.h"
+
+#include <cassert>
+
+namespace scn {
+
+Cell layout_cell(Layout layout, std::size_t r, std::size_t c, std::size_t i) {
+  assert(r > 0 && c > 0);
+  assert(i < r * c);
+  switch (layout) {
+    case Layout::kRowMajor:
+      return {i / c, i % c};
+    case Layout::kReverseRowMajor:
+      return {r - i / c - 1, c - (i % c) - 1};
+    case Layout::kColumnMajor:
+      return {i % r, i / r};
+    case Layout::kReverseColumnMajor:
+      return {r - (i % r) - 1, c - i / r - 1};
+  }
+  assert(false && "unknown layout");
+  return {0, 0};
+}
+
+std::size_t layout_index(Layout layout, std::size_t r, std::size_t c,
+                         std::size_t row, std::size_t col) {
+  assert(row < r && col < c);
+  switch (layout) {
+    case Layout::kRowMajor:
+      return row * c + col;
+    case Layout::kReverseRowMajor:
+      return (r - row - 1) * c + (c - col - 1);
+    case Layout::kColumnMajor:
+      return col * r + row;
+    case Layout::kReverseColumnMajor:
+      return (c - col - 1) * r + (r - row - 1);
+  }
+  assert(false && "unknown layout");
+  return 0;
+}
+
+}  // namespace scn

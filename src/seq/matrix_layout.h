@@ -1,0 +1,97 @@
+// The four matrix arrangements of a sequence (paper §3.1).
+//
+// A sequence X of length r*c can be arranged as an r x c matrix four ways:
+//
+//   arrangement        | x_i goes to row        | column
+//   -------------------+------------------------+---------------------
+//   row major          | floor(i/c)             | i mod c
+//   reverse row major  | r - floor(i/c) - 1     | c - (i mod c) - 1
+//   column major       | i mod r                | floor(i/r)
+//   reverse col major  | r - (i mod r) - 1      | c - floor(i/r) - 1
+//
+// The constructions in src/core/ place balancers across rows and columns of
+// such arrangements; this module computes the index maps once so that the
+// construction code reads like the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scn {
+
+enum class Layout : std::uint8_t {
+  kRowMajor,
+  kReverseRowMajor,
+  kColumnMajor,
+  kReverseColumnMajor,
+};
+
+/// Row/column coordinates of sequence element i under `layout` in an
+/// r x c matrix.
+struct Cell {
+  std::size_t row;
+  std::size_t col;
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+[[nodiscard]] Cell layout_cell(Layout layout, std::size_t r, std::size_t c,
+                               std::size_t i);
+
+/// The inverse map: the sequence index stored at matrix cell (row, col).
+[[nodiscard]] std::size_t layout_index(Layout layout, std::size_t r,
+                                       std::size_t c, std::size_t row,
+                                       std::size_t col);
+
+/// A materialized arrangement of an arbitrary element sequence into an
+/// r x c matrix. `MatrixView<T>` owns nothing; it maps (row, col) lookups
+/// back into the underlying span.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView(std::span<const T> seq, std::size_t rows, std::size_t cols,
+             Layout layout)
+      : seq_(seq), rows_(rows), cols_(cols), layout_(layout) {}
+
+  [[nodiscard]] const T& at(std::size_t row, std::size_t col) const {
+    return seq_[layout_index(layout_, rows_, cols_, row, col)];
+  }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// The elements of row `row`, ordered by column.
+  [[nodiscard]] std::vector<T> row(std::size_t r) const {
+    std::vector<T> out;
+    out.reserve(cols_);
+    for (std::size_t c = 0; c < cols_; ++c) out.push_back(at(r, c));
+    return out;
+  }
+
+  /// The elements of column `col`, ordered by row.
+  [[nodiscard]] std::vector<T> col(std::size_t c) const {
+    std::vector<T> out;
+    out.reserve(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out.push_back(at(r, c));
+    return out;
+  }
+
+  /// Reads the matrix back out as a sequence under (possibly different)
+  /// layout `out_layout`.
+  [[nodiscard]] std::vector<T> to_sequence(Layout out_layout) const {
+    std::vector<T> out(rows_ * cols_);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const Cell cell = layout_cell(out_layout, rows_, cols_, i);
+      out[i] = at(cell.row, cell.col);
+    }
+    return out;
+  }
+
+ private:
+  std::span<const T> seq_;
+  std::size_t rows_;
+  std::size_t cols_;
+  Layout layout_;
+};
+
+}  // namespace scn

@@ -1,0 +1,87 @@
+#include "seq/sequence_props.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scn {
+
+bool has_step_property(std::span<const Count> x) {
+  if (x.size() <= 1) return true;
+  // Non-increasing with max - min <= 1 is equivalent to the pairwise
+  // definition 0 <= x_i - x_j <= 1 for i < j.
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    if (x[i] < x[i + 1]) return false;
+  }
+  return x.front() - x.back() <= 1;
+}
+
+bool is_k_smooth(std::span<const Count> x, Count k) {
+  if (x.empty()) return true;
+  auto [mn, mx] = std::minmax_element(x.begin(), x.end());
+  return *mx - *mn <= k;
+}
+
+std::size_t transition_count(std::span<const Count> x) {
+  std::size_t t = 0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    if (x[i] != x[i + 1]) ++t;
+  }
+  return t;
+}
+
+bool has_bitonic_property(std::span<const Count> x) {
+  return is_k_smooth(x, 1) && transition_count(x) <= 2;
+}
+
+std::optional<std::size_t> step_point(std::span<const Count> x) {
+  if (!has_step_property(x)) return std::nullopt;
+  if (x.empty()) return 0;
+  const Count lo = x.back();
+  // Index of the first element equal to the minimum; 0 when all equal.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == lo) return (x.front() == lo) ? 0 : i;
+  }
+  return 0;  // unreachable
+}
+
+bool has_staircase_property(std::span<const std::vector<Count>> xs, Count k) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Count si = sequence_sum(xs[i]);
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      const Count d = si - sequence_sum(xs[j]);
+      if (d < 0 || d > k) return false;
+    }
+  }
+  return true;
+}
+
+Count sequence_sum(std::span<const Count> x) {
+  Count s = 0;
+  for (const Count v : x) s += v;
+  return s;
+}
+
+Count step_value(std::size_t w, Count n, std::size_t i) {
+  assert(w > 0);
+  assert(n >= 0);
+  const Count width = static_cast<Count>(w);
+  const Count idx = static_cast<Count>(i);
+  // ceil((n - i)/w) for n >= 0, 0 <= i < w. When n <= i this is <= 0 and the
+  // wire holds floor division semantics; the formula below is exact for all
+  // n >= 0 because (n - idx + width - 1) >= 0 iff n >= idx - width + 1.
+  const Count num = n - idx + width - 1;
+  return num >= 0 ? num / width : 0;
+}
+
+std::vector<Count> step_sequence(std::size_t w, Count n) {
+  std::vector<Count> out(w);
+  for (std::size_t i = 0; i < w; ++i) out[i] = step_value(w, n, i);
+  return out;
+}
+
+std::vector<Count> stride_subsequence(std::span<const Count> x,
+                                      std::size_t start, std::size_t stride) {
+  return stride_subsequence_of<Count>(x, start, stride);
+}
+
+}  // namespace scn

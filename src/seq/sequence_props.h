@@ -1,0 +1,79 @@
+// Sequence predicates from Busch & Herlihy, SPAA'99, Section 3.1.
+//
+// All sequences are sequences of natural numbers (token counts per wire, or
+// 0/1 values when reasoning through the 0-1 principle). Throughout the
+// library a "step" sequence is non-increasing with the excess on the lower
+// indices ("upper wires" in the paper's figures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace scn {
+
+/// Token/count type used by the quiescent-state calculus. 64-bit so that
+/// multi-billion-token simulated loads cannot overflow.
+using Count = std::int64_t;
+
+/// A sequence X of length w has the *step property* if
+///   0 <= x_i - x_j <= 1   for all 0 <= i < j < w.
+/// Equivalently: non-increasing, and max - min <= 1. The empty sequence and
+/// singletons trivially qualify.
+[[nodiscard]] bool has_step_property(std::span<const Count> x);
+
+/// X is *k-smooth* if |x_i - x_j| <= k for all i, j (no ordering required).
+[[nodiscard]] bool is_k_smooth(std::span<const Count> x, Count k);
+
+/// Number of *transitions*: indices i with x_i != x_{i+1}.
+[[nodiscard]] std::size_t transition_count(std::span<const Count> x);
+
+/// X has the *bitonic property* (paper's definition) if it is 1-smooth and
+/// has at most two transitions.
+[[nodiscard]] bool has_bitonic_property(std::span<const Count> x);
+
+/// The *step point* of a step sequence: the unique index i with
+/// x_i > x_{i+1}... the paper indexes it as the unique i such that
+/// x_i < x_{i+1} reading the *wrap*; we use the standard form: the count of
+/// elements holding the larger value, i.e. the index of the first element
+/// equal to the minimum (0 if all elements are equal).
+/// Returns nullopt if the sequence does not have the step property.
+[[nodiscard]] std::optional<std::size_t> step_point(std::span<const Count> x);
+
+/// Sequences X_0..X_{m-1} satisfy the *k-staircase property* if
+///   0 <= sum(X_i) - sum(X_j) <= k   for all 0 <= i < j < m.
+[[nodiscard]] bool has_staircase_property(
+    std::span<const std::vector<Count>> xs, Count k);
+
+/// sum of all elements.
+[[nodiscard]] Count sequence_sum(std::span<const Count> x);
+
+/// The unique step sequence of length w with total sum n:
+///   out[i] = ceil((n - i) / w), i.e. the first (n mod w) entries get
+///   floor(n/w)+1 and the rest floor(n/w).
+[[nodiscard]] std::vector<Count> step_sequence(std::size_t w, Count n);
+
+/// The value the i-th wire of the unique width-w step sequence with total n
+/// holds; equals ceil((n - i)/w) clamped at >= 0 semantics for n >= 0.
+[[nodiscard]] Count step_value(std::size_t w, Count n, std::size_t i);
+
+/// Stride subsequence X[i, j] = x_i, x_{i+j}, x_{i+2j}, ... (paper §3.1).
+[[nodiscard]] std::vector<Count> stride_subsequence(std::span<const Count> x,
+                                                    std::size_t start,
+                                                    std::size_t stride);
+
+/// Stride subsequence applied to an arbitrary element type (used for wire
+/// index vectors as well as counts).
+template <typename T>
+[[nodiscard]] std::vector<T> stride_subsequence_of(std::span<const T> x,
+                                                   std::size_t start,
+                                                   std::size_t stride) {
+  std::vector<T> out;
+  if (stride == 0) return out;
+  out.reserve((x.size() + stride - 1 - start) / stride + 1);
+  for (std::size_t i = start; i < x.size(); i += stride) out.push_back(x[i]);
+  return out;
+}
+
+}  // namespace scn

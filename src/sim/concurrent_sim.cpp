@@ -1,0 +1,87 @@
+#include "sim/concurrent_sim.h"
+
+#include <cassert>
+#include <chrono>
+#include <random>
+#include <thread>
+
+namespace scn {
+
+ConcurrentNetwork::ConcurrentNetwork(const Network& net)
+    : linked_(net),
+      gate_state_(std::make_unique<PaddedCounter[]>(net.gate_count())),
+      exit_counts_(std::make_unique<PaddedCounter[]>(net.width())) {}
+
+ConcurrentNetwork::ExitEvent ConcurrentNetwork::traverse(Wire in) {
+  const Network& net = linked_.network();
+  std::int32_t gate = linked_.entry_gate(in);
+  Wire wire = in;
+  while (gate != LinkedNetwork::kExit) {
+    const auto g = static_cast<std::size_t>(gate);
+    const std::uint32_t p = net.gates()[g].width;
+    const std::uint64_t ticket =
+        gate_state_[g].value.fetch_add(1, std::memory_order_acq_rel);
+    const auto slot = static_cast<std::size_t>(ticket % p);
+    wire = linked_.slot_wire(g, slot);
+    gate = linked_.next_gate(g, slot);
+  }
+  const std::size_t pos = net.output_position(wire);
+  const std::uint64_t ticket =
+      exit_counts_[pos].value.fetch_add(1, std::memory_order_acq_rel);
+  return {pos, ticket};
+}
+
+Count ConcurrentNetwork::exits(std::size_t logical_position) const {
+  return static_cast<Count>(
+      exit_counts_[logical_position].value.load(std::memory_order_acquire));
+}
+
+std::vector<Count> ConcurrentNetwork::output_counts() const {
+  std::vector<Count> out(network().width());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = exits(i);
+  return out;
+}
+
+void ConcurrentNetwork::reset() {
+  for (std::size_t g = 0; g < network().gate_count(); ++g) {
+    gate_state_[g].value.store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t w = 0; w < network().width(); ++w) {
+    exit_counts_[w].value.store(0, std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+ConcurrentRunResult run_concurrent(ConcurrentNetwork& net, std::size_t threads,
+                                   std::uint64_t tokens_per_thread,
+                                   std::uint64_t seed) {
+  assert(threads >= 1);
+  const auto width = static_cast<std::uint32_t>(net.network().width());
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::mt19937_64 rng(seed + 0x9E3779B97F4A7C15ull * (t + 1));
+      std::uniform_int_distribution<std::uint32_t> wire(0, width - 1);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t i = 0; i < tokens_per_thread; ++i) {
+        net.traverse(static_cast<Wire>(wire(rng)));
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ConcurrentRunResult result;
+  result.outputs = net.output_counts();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.tokens = tokens_per_thread * threads;
+  return result;
+}
+
+}  // namespace scn

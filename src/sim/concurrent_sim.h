@@ -1,0 +1,83 @@
+// Shared-memory concurrent execution of a balancing network.
+//
+// This is the deployment the counting-network literature targets: each
+// balancer is a word in shared memory updated with fetch-and-add; a token is
+// a thread traversing gate to gate. Contention concentrates on the balancers
+// a thread visits, which is why wide-but-shallow vs narrow-but-deep
+// factorizations trade off in practice (paper §1, citing Felten et al.).
+//
+// ConcurrentNetwork is safe for any number of threads. Balancer state is a
+// 64-bit counter (no wraparound in practice); false sharing is avoided by
+// padding each balancer to a cache line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/linked_network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+class ConcurrentNetwork {
+ public:
+  /// References `net` without owning it: the Network must outlive this
+  /// object (and must not move).
+  explicit ConcurrentNetwork(const Network& net);
+  ConcurrentNetwork(const ConcurrentNetwork&) = delete;
+  ConcurrentNetwork& operator=(const ConcurrentNetwork&) = delete;
+
+  struct ExitEvent {
+    std::size_t position;   ///< logical output position the token exits on
+    std::uint64_t ticket;   ///< how many tokens exited there before this one
+  };
+
+  /// Pushes one token in on physical wire `in` and routes it to an output.
+  /// The returned ticket makes Fetch&Inc counters possible: the token's
+  /// counter value is position + width * ticket.
+  ExitEvent traverse(Wire in);
+
+  /// Number of tokens that have exited logical output position i so far.
+  /// Only meaningful in quiescent states (no thread inside traverse()).
+  [[nodiscard]] Count exits(std::size_t logical_position) const;
+
+  /// Quiescent per-logical-output counts.
+  [[nodiscard]] std::vector<Count> output_counts() const;
+
+  [[nodiscard]] const Network& network() const { return linked_.network(); }
+
+  /// Resets all balancer and exit state (requires quiescence).
+  void reset();
+
+ private:
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  LinkedNetwork linked_;
+  std::unique_ptr<PaddedCounter[]> gate_state_;
+  std::unique_ptr<PaddedCounter[]> exit_counts_;  // by logical position
+};
+
+struct ConcurrentRunResult {
+  std::vector<Count> outputs;  ///< quiescent counts by logical position
+  double seconds = 0.0;        ///< wall time of the parallel phase
+  std::uint64_t tokens = 0;    ///< total tokens routed
+  /// Aggregate throughput in tokens per second.
+  [[nodiscard]] double tokens_per_second() const {
+    return seconds > 0 ? static_cast<double>(tokens) / seconds : 0.0;
+  }
+};
+
+/// Spawns `threads` threads, each routing `tokens_per_thread` tokens whose
+/// input wires are chosen pseudo-randomly per thread (seeded, reproducible),
+/// then reports quiescent outputs and wall time.
+[[nodiscard]] ConcurrentRunResult run_concurrent(ConcurrentNetwork& net,
+                                                 std::size_t threads,
+                                                 std::uint64_t tokens_per_thread,
+                                                 std::uint64_t seed = 1);
+
+}  // namespace scn

@@ -1,0 +1,57 @@
+#include "sim/count_sim.h"
+
+#include <cassert>
+
+namespace scn {
+
+std::vector<Count> balancer_outputs(std::span<const Count> in) {
+  Count total = 0;
+  for (const Count c : in) {
+    assert(c >= 0);
+    total += c;
+  }
+  const auto p = static_cast<Count>(in.size());
+  std::vector<Count> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // ceil((total - i)/p), never negative for total >= 0.
+    const Count num = total - static_cast<Count>(i) + p - 1;
+    out[i] = num >= 0 ? num / p : 0;
+  }
+  return out;
+}
+
+std::vector<Count> propagate_counts(const Network& net,
+                                    std::span<const Count> input) {
+  assert(input.size() == net.width());
+  std::vector<Count> counts(input.begin(), input.end());
+  std::vector<Count> local;
+  for (const Gate& g : net.gates()) {
+    const auto ws = net.gate_wires(g);
+    Count total = 0;
+    for (const Wire w : ws) total += counts[static_cast<std::size_t>(w)];
+    const auto p = static_cast<Count>(ws.size());
+    (void)local;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Count num = total - static_cast<Count>(i) + p - 1;
+      counts[static_cast<std::size_t>(ws[i])] = num >= 0 ? num / p : 0;
+    }
+  }
+  return counts;
+}
+
+std::vector<Count> output_counts(const Network& net,
+                                 std::span<const Count> input) {
+  const std::vector<Count> phys = propagate_counts(net, input);
+  std::vector<Count> out(net.width());
+  const auto order = net.output_order();
+  for (std::size_t i = 0; i < net.width(); ++i) {
+    out[i] = phys[static_cast<std::size_t>(order[i])];
+  }
+  return out;
+}
+
+bool counts_to_step(const Network& net, std::span<const Count> input) {
+  return has_step_property(output_counts(net, input));
+}
+
+}  // namespace scn

@@ -1,0 +1,39 @@
+// Quiescent-state count propagation.
+//
+// In a quiescent state the number of tokens that has left each output wire
+// of a balancer is a pure function of how many entered: with N total tokens,
+// the wire listed at position i has emitted ceil((N - i)/p). Propagating
+// these counts gate by gate in topological order therefore yields the exact
+// quiescent output distribution of the whole network for a given input
+// distribution — independent of schedule. This is the workhorse of the
+// counting-network verifiers and depth/step experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+/// Balancer transfer function: input counts (by gate slot) -> output counts
+/// (by gate slot). Exposed for direct testing.
+[[nodiscard]] std::vector<Count> balancer_outputs(std::span<const Count> in);
+
+/// Propagates per-wire token counts through all gates. `input[w]` is the
+/// number of tokens entering physical wire w. Returns per-physical-wire
+/// counts after the last gate.
+[[nodiscard]] std::vector<Count> propagate_counts(const Network& net,
+                                                  std::span<const Count> input);
+
+/// Same, but returns counts in the network's logical output order
+/// (out[i] = tokens leaving logical output i).
+[[nodiscard]] std::vector<Count> output_counts(const Network& net,
+                                               std::span<const Count> input);
+
+/// True iff the network maps `input` to a step-property output.
+[[nodiscard]] bool counts_to_step(const Network& net,
+                                  std::span<const Count> input);
+
+}  // namespace scn

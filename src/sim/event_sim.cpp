@@ -1,0 +1,102 @@
+#include "sim/event_sim.h"
+
+#include <cassert>
+#include <queue>
+#include <random>
+
+namespace scn {
+namespace {
+
+struct Event {
+  double time;
+  std::uint64_t seq;     // deterministic FIFO tie-break
+  std::uint32_t client;
+  double entry_time;     // when this token entered the network
+  std::int32_t gate;     // destination gate, or kExit
+  Wire wire;             // wire the token travels on
+
+  bool operator>(const Event& other) const {
+    return time > other.time || (time == other.time && seq > other.seq);
+  }
+};
+
+}  // namespace
+
+EventSimResult run_event_simulation(const Network& net,
+                                    const EventSimConfig& config) {
+  assert(config.clients >= 1);
+  const LinkedNetwork linked(net);
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::mt19937_64 rng(config.seed);
+  std::uniform_int_distribution<std::uint32_t> wire_dist(
+      0, static_cast<std::uint32_t>(net.width()) - 1);
+
+  std::vector<double> gate_free(net.gate_count(), 0.0);
+  std::vector<double> gate_busy(net.gate_count(), 0.0);
+  std::vector<std::uint64_t> gate_toggle(net.gate_count(), 0);
+  std::vector<Count> exits(net.width(), 0);
+  std::vector<std::uint64_t> sent(config.clients, 0);
+
+  std::uint64_t seq = 0;
+  EventSimResult result;
+  double latency_sum = 0.0;
+
+  auto inject = [&](std::uint32_t client, double at) {
+    const Wire w = static_cast<Wire>(wire_dist(rng));
+    queue.push(Event{at, seq++, client, at, linked.entry_gate(w), w});
+    sent[client] += 1;
+  };
+
+  for (std::uint32_t c = 0; c < config.clients; ++c) inject(c, 0.0);
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.gate == LinkedNetwork::kExit) {
+      exits[static_cast<std::size_t>(ev.wire)] += 1;
+      result.completed += 1;
+      const double latency = ev.time - ev.entry_time;
+      latency_sum += latency;
+      result.max_latency = std::max(result.max_latency, latency);
+      result.makespan = std::max(result.makespan, ev.time);
+      if (sent[ev.client] < config.tokens_per_client) {
+        inject(ev.client, ev.time + config.think_time);
+      }
+      continue;
+    }
+    const auto g = static_cast<std::size_t>(ev.gate);
+    const Gate& gate = net.gates()[g];
+    const double service =
+        config.service_base + config.service_per_port * (gate.width - 1);
+    const double start = std::max(ev.time, gate_free[g]);
+    const double done = start + service;
+    gate_free[g] = done;
+    gate_busy[g] += service;
+    const auto slot = static_cast<std::size_t>(gate_toggle[g]++ % gate.width);
+    Event next = ev;
+    next.seq = seq++;
+    next.time = done + config.wire_delay;
+    next.wire = linked.slot_wire(g, slot);
+    next.gate = linked.next_gate(g, slot);
+    queue.push(next);
+  }
+
+  if (result.completed > 0) {
+    result.mean_latency = latency_sum / static_cast<double>(result.completed);
+  }
+  if (result.makespan > 0) {
+    result.throughput =
+        static_cast<double>(result.completed) / result.makespan;
+    for (std::size_t g = 0; g < net.gate_count(); ++g) {
+      result.hottest_gate_utilization = std::max(
+          result.hottest_gate_utilization, gate_busy[g] / result.makespan);
+    }
+  }
+  result.outputs.assign(net.width(), 0);
+  for (std::size_t w = 0; w < net.width(); ++w) {
+    result.outputs[net.output_position(static_cast<Wire>(w))] = exits[w];
+  }
+  return result;
+}
+
+}  // namespace scn

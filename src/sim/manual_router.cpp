@@ -1,0 +1,66 @@
+#include "sim/manual_router.h"
+
+#include <cassert>
+
+namespace scn {
+
+ManualTokenRouter::ManualTokenRouter(const Network& net)
+    : linked_(net),
+      gate_state_(net.gate_count(), 0),
+      exit_tickets_(net.width(), 0) {}
+
+ManualTokenRouter::TokenId ManualTokenRouter::spawn(Wire in) {
+  assert(in >= 0 &&
+         static_cast<std::size_t>(in) < linked_.network().width());
+  tokens_.push_back(TokenState{linked_.entry_gate(in), in, false, 0});
+  return tokens_.size() - 1;
+}
+
+bool ManualTokenRouter::step(TokenId token) {
+  TokenState& t = tokens_.at(token);
+  assert(!t.exited && "token already exited");
+  if (t.gate == LinkedNetwork::kExit) {
+    const Network& net = linked_.network();
+    const std::size_t pos = net.output_position(t.wire);
+    t.value = static_cast<std::uint64_t>(pos) +
+              static_cast<std::uint64_t>(net.width()) * exit_tickets_[pos]++;
+    t.exited = true;
+    return false;
+  }
+  const auto g = static_cast<std::size_t>(t.gate);
+  const std::uint32_t p = linked_.network().gates()[g].width;
+  const auto slot = static_cast<std::size_t>(gate_state_[g]++ % p);
+  t.wire = linked_.slot_wire(g, slot);
+  t.gate = linked_.next_gate(g, slot);
+  return true;
+}
+
+std::uint64_t ManualTokenRouter::run_to_exit(TokenId token) {
+  while (step(token)) {
+  }
+  return tokens_.at(token).value;
+}
+
+bool ManualTokenRouter::exited(TokenId token) const {
+  return tokens_.at(token).exited;
+}
+
+std::optional<std::uint64_t> ManualTokenRouter::value(TokenId token) const {
+  const TokenState& t = tokens_.at(token);
+  if (!t.exited) return std::nullopt;
+  return t.value;
+}
+
+Wire ManualTokenRouter::wire_of(TokenId token) const {
+  return tokens_.at(token).wire;
+}
+
+std::vector<Count> ManualTokenRouter::exit_counts() const {
+  std::vector<Count> out(exit_tickets_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<Count>(exit_tickets_[i]);
+  }
+  return out;
+}
+
+}  // namespace scn

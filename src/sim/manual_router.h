@@ -1,0 +1,67 @@
+// Manual, single-hop-at-a-time token control.
+//
+// The schedule-policy simulator (token_sim.h) drives whole loads; this
+// router hands the schedule to the caller: spawn tokens, advance any of
+// them one balancer at a time, observe positions and (on exit) counter
+// values. It exists for deterministic debugging and for demonstrating
+// *schedule-sensitive* phenomena — most importantly that counting networks
+// are quiescently consistent but NOT linearizable (paper §6 points to the
+// timing-constraints literature): a token that starts after another token
+// finished can still receive a smaller counter value if a third token is
+// parked inside the network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/linked_network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+class ManualTokenRouter {
+ public:
+  explicit ManualTokenRouter(const Network& net);
+
+  using TokenId = std::size_t;
+
+  /// Creates a token poised to enter on physical wire `in`. No balancer is
+  /// touched yet.
+  TokenId spawn(Wire in);
+
+  /// Advances the token through exactly one balancer (atomically taking
+  /// its ticket), or through the exit if no balancers remain. Returns true
+  /// while the token is still inside the network afterwards.
+  bool step(TokenId token);
+
+  /// Runs the token to completion; returns its counter value.
+  std::uint64_t run_to_exit(TokenId token);
+
+  [[nodiscard]] bool exited(TokenId token) const;
+
+  /// Fetch&Inc-style value: exit_position + width * exit_ticket.
+  /// nullopt until the token has exited.
+  [[nodiscard]] std::optional<std::uint64_t> value(TokenId token) const;
+
+  /// Physical wire the token currently travels on.
+  [[nodiscard]] Wire wire_of(TokenId token) const;
+
+  /// Tokens that have exited so far, per logical output position.
+  [[nodiscard]] std::vector<Count> exit_counts() const;
+
+ private:
+  struct TokenState {
+    std::int32_t gate;  // next gate, or kExit
+    Wire wire;
+    bool exited = false;
+    std::uint64_t value = 0;
+  };
+
+  LinkedNetwork linked_;
+  std::vector<std::uint64_t> gate_state_;
+  std::vector<std::uint64_t> exit_tickets_;  // by logical position
+  std::vector<TokenState> tokens_;
+};
+
+}  // namespace scn

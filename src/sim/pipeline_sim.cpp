@@ -1,0 +1,85 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace scn {
+
+PipelineSimulator::PipelineSimulator(const Network& net)
+    : net_(&net), stages_(net.layers()) {}
+
+namespace {
+
+void apply_stage(const Network& net, const std::vector<std::size_t>& stage,
+                 std::vector<Count>& values) {
+  std::vector<Count> buf;
+  for (const std::size_t gi : stage) {
+    const auto ws = net.gate_wires(net.gates()[gi]);
+    buf.clear();
+    for (const Wire w : ws) buf.push_back(values[static_cast<std::size_t>(w)]);
+    std::sort(buf.begin(), buf.end(), std::greater<>());
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      values[static_cast<std::size_t>(ws[i])] = buf[i];
+    }
+  }
+}
+
+std::vector<Count> reorder(const Network& net, std::vector<Count> values) {
+  std::vector<Count> out;
+  out.reserve(net.width());
+  for (const Wire w : net.output_order()) {
+    out.push_back(values[static_cast<std::size_t>(w)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+PipelineSimulator::Result PipelineSimulator::run_batches(
+    std::span<const std::vector<Count>> batches) const {
+  Result result;
+  const std::size_t depth = stages_.size();
+  if (depth == 0) {
+    for (const auto& b : batches) result.outputs.push_back(reorder(*net_, b));
+    result.cycles = batches.size();
+    return result;
+  }
+  // Systolic pipe: slot[s] holds the batch that stage s processes this
+  // cycle. One batch enters per cycle; each batch advances one stage per
+  // cycle and exits after its last stage, so B batches complete in
+  // B + depth - 1 cycles.
+  std::vector<std::vector<Count>> slot(depth);
+  std::vector<bool> occupied(depth, false);
+  std::size_t next = 0;
+  while (result.outputs.size() < batches.size()) {
+    if (next < batches.size()) {
+      assert(batches[next].size() == net_->width());
+      assert(!occupied[0]);
+      slot[0] = batches[next++];
+      occupied[0] = true;
+    }
+    ++result.cycles;
+    for (std::size_t s = depth; s-- > 0;) {
+      if (!occupied[s]) continue;
+      apply_stage(*net_, stages_[s], slot[s]);
+      occupied[s] = false;
+      if (s + 1 == depth) {
+        result.outputs.push_back(reorder(*net_, std::move(slot[s])));
+      } else {
+        slot[s + 1] = std::move(slot[s]);
+        occupied[s + 1] = true;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Count> PipelineSimulator::run_one(
+    std::span<const Count> values) const {
+  std::vector<Count> v(values.begin(), values.end());
+  for (const auto& stage : stages_) apply_stage(*net_, stage, v);
+  return reorder(*net_, std::move(v));
+}
+
+}  // namespace scn

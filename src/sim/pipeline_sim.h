@@ -1,0 +1,47 @@
+// Synchronous pipelined execution model.
+//
+// Hardware sorting networks and pipelined counting networks operate in
+// lock-step rounds: in each cycle every layer processes the batch handed to
+// it by the previous layer. Latency of one batch = depth cycles; steady-
+// state throughput = one batch (w values) per cycle regardless of depth.
+// This simulator executes a network layer by layer over a stream of
+// batches, reporting per-batch results and cycle counts — the evaluation
+// regime where the paper's shallow-networks-from-wide-comparators pay off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+class PipelineSimulator {
+ public:
+  explicit PipelineSimulator(const Network& net);
+
+  /// Number of pipeline stages (== network depth).
+  [[nodiscard]] std::size_t stages() const { return stages_.size(); }
+
+  /// Feeds `batches` width-w value vectors through the pipeline as a
+  /// comparator network; returns the sorted outputs in logical order,
+  /// one per batch, plus the total cycles consumed
+  /// (= batches + depth - 1 when the pipeline is kept full).
+  struct Result {
+    std::vector<std::vector<Count>> outputs;
+    std::uint64_t cycles = 0;
+  };
+  [[nodiscard]] Result run_batches(
+      std::span<const std::vector<Count>> batches) const;
+
+  /// Single-batch convenience.
+  [[nodiscard]] std::vector<Count> run_one(std::span<const Count> values) const;
+
+ private:
+  const Network* net_;
+  std::vector<std::vector<std::size_t>> stages_;  // gate ids per layer
+};
+
+}  // namespace scn

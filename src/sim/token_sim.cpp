@@ -1,0 +1,136 @@
+#include "sim/token_sim.h"
+
+#include <cassert>
+#include <random>
+
+namespace scn {
+namespace {
+
+struct Token {
+  std::int32_t gate;  // current gate, or LinkedNetwork::kExit when done
+  Wire wire;          // wire the token is travelling on
+};
+
+}  // namespace
+
+TokenSimResult run_token_simulation(const LinkedNetwork& linked,
+                                    std::span<const Count> input,
+                                    SchedulePolicy policy, std::uint64_t seed) {
+  const Network& net = linked.network();
+  assert(input.size() == net.width());
+
+  std::vector<Token> tokens;
+  for (std::size_t w = 0; w < input.size(); ++w) {
+    for (Count t = 0; t < input[w]; ++t) {
+      tokens.push_back(
+          Token{linked.entry_gate(static_cast<Wire>(w)), static_cast<Wire>(w)});
+    }
+  }
+
+  std::vector<std::uint64_t> gate_state(net.gate_count(), 0);
+  std::vector<Count> exits(net.width(), 0);
+  TokenSimResult result;
+  result.outputs.assign(net.width(), 0);
+
+  // Advances token t by one hop; returns false once the token has exited.
+  auto step = [&](Token& t) -> bool {
+    if (t.gate == LinkedNetwork::kExit) {
+      exits[static_cast<std::size_t>(t.wire)] += 1;
+      return false;
+    }
+    const auto g = static_cast<std::size_t>(t.gate);
+    const std::uint32_t p = net.gates()[g].width;
+    const std::size_t slot =
+        static_cast<std::size_t>(gate_state[g]++ % p);
+    t.wire = linked.slot_wire(g, slot);
+    t.gate = linked.next_gate(g, slot);
+    ++result.hops;
+    return true;
+  };
+
+  // `live` holds indices of tokens that have not exited yet.
+  std::vector<std::size_t> live(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) live[i] = i;
+  std::mt19937_64 rng(seed);
+
+  auto retire = [&](std::size_t live_idx) {
+    live[live_idx] = live.back();
+    live.pop_back();
+  };
+
+  switch (policy) {
+    case SchedulePolicy::kOneTokenAtATime: {
+      for (Token& t : tokens) {
+        while (step(t)) {
+        }
+      }
+      live.clear();
+      break;
+    }
+    case SchedulePolicy::kRoundRobin: {
+      std::size_t i = 0;
+      while (!live.empty()) {
+        if (i >= live.size()) i = 0;
+        if (!step(tokens[live[i]])) {
+          retire(i);
+        } else {
+          ++i;
+        }
+      }
+      break;
+    }
+    case SchedulePolicy::kRandom: {
+      while (!live.empty()) {
+        std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+        const std::size_t i = pick(rng);
+        if (!step(tokens[live[i]])) retire(i);
+      }
+      break;
+    }
+    case SchedulePolicy::kLifoBursts: {
+      while (!live.empty()) {
+        std::uniform_int_distribution<std::uint32_t> burst(1, 8);
+        std::uint32_t n = burst(rng);
+        const std::size_t i = live.size() - 1;
+        while (n-- > 0) {
+          if (!step(tokens[live[i]])) {
+            retire(i);
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case SchedulePolicy::kReverseSweeps: {
+      while (!live.empty()) {
+        for (std::size_t i = live.size(); i-- > 0;) {
+          if (!step(tokens[live[i]])) retire(i);
+        }
+      }
+      break;
+    }
+  }
+
+  for (std::size_t w = 0; w < net.width(); ++w) {
+    result.outputs[net.output_position(static_cast<Wire>(w))] = exits[w];
+  }
+  return result;
+}
+
+TokenSimResult run_token_simulation(const Network& net,
+                                    std::span<const Count> input,
+                                    SchedulePolicy policy, std::uint64_t seed) {
+  const LinkedNetwork linked(net);
+  return run_token_simulation(linked, input, policy, seed);
+}
+
+std::span<const SchedulePolicy> all_schedule_policies() {
+  static constexpr SchedulePolicy kAll[] = {
+      SchedulePolicy::kOneTokenAtATime, SchedulePolicy::kRoundRobin,
+      SchedulePolicy::kRandom,          SchedulePolicy::kLifoBursts,
+      SchedulePolicy::kReverseSweeps,
+  };
+  return kAll;
+}
+
+}  // namespace scn

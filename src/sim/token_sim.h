@@ -1,0 +1,52 @@
+// Sequential token routing under adversarial schedules.
+//
+// A balancer is an atomic switch: a token arriving at a p-balancer departs
+// on the next output wire (round robin). Any asynchronous execution is thus
+// equivalent to some interleaving of single-hop steps. This simulator
+// replays such interleavings under pluggable schedule policies, which lets
+// the test suite check the fundamental quiescence lemma (output counts are a
+// pure function of input counts, independent of schedule) and exercise the
+// counting property under hostile timings without real threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/linked_network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+enum class SchedulePolicy : std::uint8_t {
+  kOneTokenAtATime,  ///< each token runs to completion, in creation order
+  kRoundRobin,       ///< live tokens advance one hop each, cyclically
+  kRandom,           ///< a uniformly random live token advances
+  kLifoBursts,       ///< newest live token advances for a random burst
+  kReverseSweeps,    ///< sweeps over live tokens in reverse creation order
+};
+
+struct TokenSimResult {
+  /// Tokens leaving each logical output position.
+  std::vector<Count> outputs;
+  /// Total gate traversals performed (sum over tokens of their path length).
+  std::uint64_t hops = 0;
+};
+
+/// Routes `input[w]` tokens entering physical wire w (interleaved per the
+/// policy) through the network and reports quiescent per-output counts.
+[[nodiscard]] TokenSimResult run_token_simulation(const Network& net,
+                                                  std::span<const Count> input,
+                                                  SchedulePolicy policy,
+                                                  std::uint64_t seed = 0);
+
+/// Same but reuses a prebuilt LinkedNetwork (cheaper in sweeps).
+[[nodiscard]] TokenSimResult run_token_simulation(const LinkedNetwork& linked,
+                                                  std::span<const Count> input,
+                                                  SchedulePolicy policy,
+                                                  std::uint64_t seed = 0);
+
+/// All policies, for sweep-style tests.
+[[nodiscard]] std::span<const SchedulePolicy> all_schedule_policies();
+
+}  // namespace scn

@@ -1,0 +1,45 @@
+#include "verify/checkers.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scn {
+
+bool is_permutation_of_iota(std::span<const Count> x) {
+  std::vector<bool> seen(x.size(), false);
+  for (const Count v : x) {
+    if (v < 0 || static_cast<std::size_t>(v) >= x.size()) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+bool is_exact_step_output(std::span<const Count> out) {
+  const Count total = sequence_sum(out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != step_value(out.size(), total, i)) return false;
+  }
+  return true;
+}
+
+bool monotone_consistent(std::span<const Count> a, std::span<const Count> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      if (a[i] < a[j] && b[i] > b[j]) return false;
+    }
+  }
+  return true;
+}
+
+std::string format_sequence(std::span<const Count> x) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i) os << " ";
+    os << x[i];
+  }
+  return os.str();
+}
+
+}  // namespace scn

@@ -1,0 +1,27 @@
+// Small shared checkers used across the verifiers and tests.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+/// True iff `x` is a permutation of {0, 1, ..., |x|-1}.
+[[nodiscard]] bool is_permutation_of_iota(std::span<const Count> x);
+
+/// True iff `out` equals THE step sequence of its width and total — i.e.
+/// out[i] == ceil((total - i) / w).
+[[nodiscard]] bool is_exact_step_output(std::span<const Count> out);
+
+/// True iff `b` is a monotone-map image of `a` under f (every pair ordered
+/// consistently); used by 0-1-principle metamorphic tests.
+[[nodiscard]] bool monotone_consistent(std::span<const Count> a,
+                                       std::span<const Count> b);
+
+/// "3 1 4 1 5" rendering for diagnostics.
+[[nodiscard]] std::string format_sequence(std::span<const Count> x);
+
+}  // namespace scn

@@ -1,0 +1,80 @@
+#include "verify/counting_verify.h"
+
+#include <random>
+
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+#include "sim/token_sim.h"
+#include "verify/checkers.h"
+
+namespace scn {
+namespace {
+
+bool check_one(const Network& net, const std::vector<Count>& input,
+               CountingVerdict& verdict) {
+  std::vector<Count> out = output_counts(net, input);
+  ++verdict.inputs_checked;
+  if (!has_step_property(out)) {
+    verdict.ok = false;
+    verdict.counterexample = input;
+    verdict.bad_output = std::move(out);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CountingVerdict verify_counting(const Network& net,
+                                CountingVerifyOptions opts) {
+  CountingVerdict verdict;
+  const std::size_t w = net.width();
+  const Count max_total =
+      opts.max_total > 0 ? opts.max_total : static_cast<Count>(3 * w + 7);
+  std::mt19937_64 rng(opts.seed);
+  for (Count total = 0; total <= max_total; ++total) {
+    if (opts.structured) {
+      for (const auto& v : structured_count_vectors(w, total)) {
+        if (!check_one(net, v, verdict)) return verdict;
+      }
+    }
+    for (std::size_t t = 0; t < opts.random_per_total; ++t) {
+      const auto v = random_count_vector(rng, w, total);
+      if (!check_one(net, v, verdict)) return verdict;
+    }
+  }
+  return verdict;
+}
+
+CountingVerdict verify_counting_exhaustive(const Network& net, Count bound) {
+  CountingVerdict verdict;
+  const std::size_t w = net.width();
+  std::vector<Count> input(w, 0);
+  // Odometer over {0..bound}^w.
+  while (true) {
+    if (!check_one(net, input, verdict)) return verdict;
+    std::size_t i = 0;
+    while (i < w && input[i] == bound) {
+      input[i] = 0;
+      ++i;
+    }
+    if (i == w) break;
+    input[i] += 1;
+  }
+  return verdict;
+}
+
+bool verify_schedule_independence(const Network& net,
+                                  std::span<const Count> input,
+                                  std::uint64_t seed) {
+  const std::vector<Count> expected = output_counts(net, input);
+  const LinkedNetwork linked(net);
+  for (const SchedulePolicy policy : all_schedule_policies()) {
+    const TokenSimResult got =
+        run_token_simulation(linked, input, policy, seed);
+    if (got.outputs != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace scn

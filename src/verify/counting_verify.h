@@ -1,0 +1,58 @@
+// Counting-network verification.
+//
+// A balancing network counts iff every quiescent state shows the step
+// property on the outputs. Quiescent outputs are a pure function of the
+// input count vector (count propagation is exact), so verification reduces
+// to sweeping input count vectors:
+//   * boundedly exhaustive — all vectors with entries <= bound (tiny nets);
+//   * structured + randomized — per total, adversarial shapes plus random
+//     throws (any width);
+// plus schedule-independence spot checks through the token simulator.
+//
+// Note the asymmetry the paper highlights: every counting network is a
+// sorting network but not vice versa — the verifier REJECTS e.g. the
+// bubble-sort network, and the test suite relies on that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+struct CountingVerdict {
+  bool ok = true;
+  /// A violating input count vector (empty when ok).
+  std::vector<Count> counterexample;
+  /// What the network produced on it (logical output order).
+  std::vector<Count> bad_output;
+  std::uint64_t inputs_checked = 0;
+};
+
+struct CountingVerifyOptions {
+  Count max_total = 0;          ///< 0 => default 3*w + 7
+  std::size_t random_per_total = 8;
+  std::uint64_t seed = 7;
+  bool structured = true;       ///< include adversarial structured vectors
+};
+
+/// Structured + randomized sweep over totals 0..max_total.
+[[nodiscard]] CountingVerdict verify_counting(const Network& net,
+                                              CountingVerifyOptions opts = {});
+
+/// All input vectors with per-wire counts in [0, bound]; cost is
+/// (bound+1)^w evaluations — only for tiny widths.
+[[nodiscard]] CountingVerdict verify_counting_exhaustive(const Network& net,
+                                                         Count bound);
+
+/// Checks that the token simulator reproduces the count-propagation outputs
+/// under every schedule policy for the given input (the quiescence lemma).
+/// Returns true when all schedules agree.
+[[nodiscard]] bool verify_schedule_independence(const Network& net,
+                                                std::span<const Count> input,
+                                                std::uint64_t seed = 3);
+
+}  // namespace scn

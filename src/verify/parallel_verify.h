@@ -1,0 +1,27 @@
+// Multithreaded counting verification.
+//
+// Verification sweeps are embarrassingly parallel across input vectors:
+// shard the (total, trial) grid over a thread pool, propagate counts
+// independently (count propagation is pure), and reduce verdicts. On a
+// many-core host this turns the heavy sweeps (wide networks, deep totals)
+// from minutes into seconds; results are bit-identical to the sequential
+// verifier by construction (same seeds per shard).
+#pragma once
+
+#include "verify/counting_verify.h"
+
+namespace scn {
+
+struct ParallelVerifyOptions {
+  CountingVerifyOptions base;
+  std::size_t threads = 0;  ///< 0 => hardware_concurrency
+};
+
+/// Parallel equivalent of verify_counting: same input population (the
+/// structured vectors plus `random_per_total` seeded draws per total),
+/// sharded by total across threads. If any shard finds a violation, one
+/// witness is reported (the one with the smallest total).
+[[nodiscard]] CountingVerdict verify_counting_parallel(
+    const Network& net, ParallelVerifyOptions opts = {});
+
+}  // namespace scn

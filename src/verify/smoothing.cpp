@@ -1,0 +1,60 @@
+#include "verify/smoothing.h"
+
+#include <algorithm>
+#include <random>
+
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+
+namespace scn {
+namespace {
+
+void observe(const Network& net, const std::vector<Count>& input,
+             SmoothingReport& report) {
+  const auto out = output_counts(net, input);
+  const auto [mn, mx] = std::minmax_element(out.begin(), out.end());
+  const Count spread = *mx - *mn;
+  ++report.inputs_checked;
+  if (spread > report.worst_spread) {
+    report.worst_spread = spread;
+    report.worst_input = input;
+  }
+}
+
+}  // namespace
+
+SmoothingReport probe_smoothing(const Network& net,
+                                SmoothingProbeOptions opts) {
+  SmoothingReport report;
+  const std::size_t w = net.width();
+  const Count max_total =
+      opts.max_total > 0 ? opts.max_total : static_cast<Count>(3 * w + 7);
+  std::mt19937_64 rng(opts.seed);
+  for (Count total = 0; total <= max_total; ++total) {
+    for (const auto& v : structured_count_vectors(w, total)) {
+      observe(net, v, report);
+    }
+    for (std::size_t t = 0; t < opts.random_per_total; ++t) {
+      observe(net, random_count_vector(rng, w, total), report);
+    }
+  }
+  return report;
+}
+
+SmoothingReport probe_smoothing_exhaustive(const Network& net, Count bound) {
+  SmoothingReport report;
+  std::vector<Count> input(net.width(), 0);
+  while (true) {
+    observe(net, input, report);
+    std::size_t i = 0;
+    while (i < input.size() && input[i] == bound) {
+      input[i] = 0;
+      ++i;
+    }
+    if (i == input.size()) break;
+    input[i] += 1;
+  }
+  return report;
+}
+
+}  // namespace scn

@@ -1,0 +1,45 @@
+// Smoothing analysis.
+//
+// A balancing network is a k-SMOOTHING network if every quiescent output is
+// k-smooth (|out_i - out_j| <= k) — the classic relaxation of counting
+// (1-smoothing with ordered excess). Smoothing is what load balancing
+// actually needs (examples/load_balancer), and partial constructions (a
+// prefix of a counting network, a single periodic block) smooth long
+// before they count. This module measures empirical smoothness so tests
+// and benches can chart "smoothness vs depth".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+struct SmoothingReport {
+  /// Worst max-min spread observed across all probed inputs.
+  Count worst_spread = 0;
+  /// An input achieving it.
+  std::vector<Count> worst_input;
+  std::uint64_t inputs_checked = 0;
+};
+
+struct SmoothingProbeOptions {
+  Count max_total = 0;  ///< 0 => 3*w + 7
+  std::size_t random_per_total = 6;
+  std::uint64_t seed = 11;
+};
+
+/// Probes structured + random loads and reports the worst output spread.
+/// (A report of worst_spread <= k is evidence, not proof, of k-smoothing;
+/// for tiny nets combine with exhaustive verification below.)
+[[nodiscard]] SmoothingReport probe_smoothing(const Network& net,
+                                              SmoothingProbeOptions opts = {});
+
+/// Exhaustive over inputs with per-wire counts <= bound: the exact worst
+/// spread for that box of inputs.
+[[nodiscard]] SmoothingReport probe_smoothing_exhaustive(const Network& net,
+                                                         Count bound);
+
+}  // namespace scn

@@ -1,0 +1,36 @@
+// Sorting-network verification via the 0-1 principle.
+//
+// A comparator network (with p-way comparators) sorts every input iff it
+// sorts every 0-1 input: p-comparators commute with monotone functions, so
+// a counterexample on arbitrary values projects to a binary counterexample.
+// Exhaustive binary checking (2^w inputs) is therefore a *proof* of
+// sortingness for moderate widths; sampled permutations extend confidence to
+// widths where 2^w is out of reach.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+
+struct SortingVerdict {
+  bool ok = true;
+  /// A violating input (empty when ok).
+  std::vector<Count> counterexample;
+  /// Number of inputs exercised.
+  std::uint64_t inputs_checked = 0;
+};
+
+/// Exhaustive 0-1 check; requires net.width() <= 26 (2^26 evaluations).
+[[nodiscard]] SortingVerdict verify_sorting_exhaustive(const Network& net);
+
+/// Random-permutation + random-multiset sampling for larger widths.
+[[nodiscard]] SortingVerdict verify_sorting_sampled(const Network& net,
+                                                    std::size_t trials,
+                                                    std::uint64_t seed = 42);
+
+}  // namespace scn

@@ -1,0 +1,87 @@
+// Structural analysis: layer profiles, wire utilization, critical paths,
+// occupancy.
+#include <gtest/gtest.h>
+
+#include "baseline/bitonic.h"
+#include "core/k_network.h"
+#include "net/analyze.h"
+
+namespace scn {
+namespace {
+
+TEST(LayerProfiles, FullLayersOfK) {
+  const Network net = make_k_network({2, 2, 2});
+  const auto profiles = layer_profiles(net);
+  ASSERT_EQ(profiles.size(), net.depth());
+  for (const auto& p : profiles) {
+    // Every layer of K(2^n) touches all wires... except the exchange layer
+    // ℓ with odd p*q blocks; for 2,2,2 all layers are full.
+    EXPECT_EQ(p.wires_touched, net.width()) << "layer " << p.layer;
+    EXPECT_GT(p.gates, 0u);
+  }
+}
+
+TEST(LayerProfiles, SumsMatchTotals) {
+  const Network net = make_bitonic_network(4);
+  const auto profiles = layer_profiles(net);
+  std::size_t gates = 0, endpoints = 0;
+  for (const auto& p : profiles) {
+    gates += p.gates;
+    endpoints += p.wires_touched;
+  }
+  EXPECT_EQ(gates, net.gate_count());
+  EXPECT_EQ(endpoints, net.wire_endpoint_count());
+}
+
+TEST(WireUtilization, UniformOnBitonic) {
+  const Network net = make_bitonic_network(3);
+  const auto u = wire_utilization(net);
+  // Bitonic touches every wire in every layer.
+  EXPECT_EQ(u.min_gates, net.depth());
+  EXPECT_EQ(u.max_gates, net.depth());
+  EXPECT_DOUBLE_EQ(u.mean_gates, static_cast<double>(net.depth()));
+}
+
+TEST(WireUtilization, EmptyNetwork) {
+  const Network net = NetworkBuilder(3).finish_identity();
+  const auto u = wire_utilization(net);
+  EXPECT_EQ(u.max_gates, 0u);
+}
+
+TEST(CriticalPath, LengthEqualsDepthAndLayersAscend) {
+  for (const auto& factors :
+       {std::vector<std::size_t>{2, 2, 2}, {3, 2, 2}, {2, 2, 2, 2}}) {
+    const Network net = make_k_network(factors);
+    const auto path = critical_path(net);
+    ASSERT_EQ(path.size(), net.depth());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      EXPECT_EQ(net.gates()[path[i]].layer, i + 1);
+    }
+    // Consecutive path gates must share a wire.
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto a = net.gate_wires(path[i]);
+      const auto b = net.gate_wires(path[i + 1]);
+      bool shares = false;
+      for (const Wire wa : a) {
+        for (const Wire wb : b) shares = shares || wa == wb;
+      }
+      EXPECT_TRUE(shares) << "path gates " << i << "," << i + 1;
+    }
+  }
+}
+
+TEST(CriticalPath, EmptyNetwork) {
+  EXPECT_TRUE(critical_path(NetworkBuilder(2).finish_identity()).empty());
+}
+
+TEST(Occupancy, FullyDenseIsOne) {
+  EXPECT_DOUBLE_EQ(occupancy(make_bitonic_network(3)), 1.0);
+  // A single balancer on 2 of 4 wires at depth 1: occupancy 0.5.
+  NetworkBuilder b(4);
+  b.add_balancer({0, 1});
+  EXPECT_DOUBLE_EQ(occupancy(std::move(b).finish_identity()), 0.5);
+  EXPECT_DOUBLE_EQ(occupancy(NetworkBuilder(4).finish_identity()), 0.0);
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,122 @@
+// Baselines: the bitonic and periodic counting networks count; Batcher's
+// odd-even mergesort sorts; and — Figure 3 of the paper — bubble-style
+// sorting networks do NOT count (the converse of the isomorphism fails).
+#include <gtest/gtest.h>
+
+#include "baseline/batcher.h"
+#include "baseline/bitonic.h"
+#include "baseline/bubble.h"
+#include "baseline/periodic.h"
+#include "core/factorization.h"
+#include "verify/counting_verify.h"
+#include "verify/sorting_verify.h"
+
+namespace scn {
+namespace {
+
+TEST(Bitonic, DepthFormula) {
+  for (std::size_t k = 1; k <= 7; ++k) {
+    const Network net = make_bitonic_network(k);
+    EXPECT_EQ(net.validate(), "");
+    EXPECT_EQ(net.width(), std::size_t{1} << k);
+    EXPECT_EQ(net.depth(), bitonic_depth_formula(k));
+    EXPECT_EQ(net.max_gate_width(), 2u);
+  }
+}
+
+TEST(Bitonic, Counts) {
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const Network net = make_bitonic_network(k);
+    EXPECT_TRUE(verify_counting(net).ok) << "width " << (1 << k);
+  }
+}
+
+TEST(Bitonic, ExhaustiveCountingWidth4) {
+  EXPECT_TRUE(verify_counting_exhaustive(make_bitonic_network(2), 3).ok);
+}
+
+TEST(Bitonic, SortsAllBinaryInputs) {
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(verify_sorting_exhaustive(make_bitonic_network(k)).ok);
+  }
+}
+
+TEST(Batcher, SortsAllBinaryInputsAllWidthsUpTo14) {
+  for (std::size_t w = 1; w <= 14; ++w) {
+    const Network net = make_batcher_network(w);
+    EXPECT_EQ(net.validate(), "");
+    EXPECT_TRUE(verify_sorting_exhaustive(net).ok) << "width " << w;
+  }
+}
+
+TEST(Batcher, SampledWiderWidths) {
+  for (const std::size_t w : {20u, 33u, 64u, 100u}) {
+    const Network net = make_batcher_network(w);
+    EXPECT_TRUE(verify_sorting_sampled(net, 200).ok) << "width " << w;
+  }
+}
+
+TEST(Batcher, DepthIsLogSquared) {
+  // Batcher depth for 2^k is k(k+1)/2 exactly.
+  for (std::size_t k = 1; k <= 7; ++k) {
+    const Network net = make_batcher_network(std::size_t{1} << k);
+    EXPECT_EQ(net.depth(), k * (k + 1) / 2) << "width " << (1 << k);
+  }
+}
+
+TEST(Batcher, IsNotACountingNetwork) {
+  // Replacing Batcher's comparators with balancers does not count —
+  // the paper's "the converse is false" (§1) in executable form.
+  const Network net = make_batcher_network(4);
+  const CountingVerdict v = verify_counting(net);
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.counterexample.empty());
+}
+
+TEST(Bubble, SortsButDoesNotCount) {
+  for (const std::size_t w : {3u, 4u, 5u, 6u}) {
+    const Network net = make_bubble_network(w);
+    EXPECT_EQ(net.validate(), "");
+    EXPECT_TRUE(verify_sorting_exhaustive(net).ok) << "width " << w;
+    const CountingVerdict v = verify_counting(net);
+    EXPECT_FALSE(v.ok) << "width " << w
+                       << ": bubble network unexpectedly counts";
+  }
+}
+
+TEST(Bubble, WidthTwoIsASingleBalancerAndCounts) {
+  const Network net = make_bubble_network(2);
+  EXPECT_TRUE(verify_counting(net).ok);
+}
+
+TEST(OddEvenTransposition, SortsButDoesNotCount) {
+  for (const std::size_t w : {3u, 4u, 5u, 6u, 7u}) {
+    const Network net = make_odd_even_transposition_network(w);
+    EXPECT_TRUE(verify_sorting_exhaustive(net).ok) << "width " << w;
+    if (w >= 3) {
+      EXPECT_FALSE(verify_counting(net).ok) << "width " << w;
+    }
+  }
+}
+
+TEST(Periodic, DepthIsLogSquaredExactly) {
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const Network net = make_periodic_network(k);
+    EXPECT_EQ(net.validate(), "");
+    EXPECT_EQ(net.depth(), k * k);
+  }
+}
+
+TEST(Periodic, Counts) {
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(verify_counting(make_periodic_network(k)).ok)
+        << "width " << (1 << k);
+  }
+}
+
+TEST(Periodic, ExhaustiveCountingWidth4) {
+  EXPECT_TRUE(verify_counting_exhaustive(make_periodic_network(2), 3).ok);
+}
+
+}  // namespace
+}  // namespace scn

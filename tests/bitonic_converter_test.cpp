@@ -1,0 +1,88 @@
+// Bitonic-converter D(p, q) (§4.4): any sequence with the paper's bitonic
+// property becomes step at depth 2.
+#include <gtest/gtest.h>
+
+#include "core/bitonic_converter.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+#include "verify/checkers.h"
+
+namespace scn {
+namespace {
+
+struct DParam {
+  std::size_t p, q;
+};
+
+class BitonicConverterSuite : public ::testing::TestWithParam<DParam> {};
+
+TEST_P(BitonicConverterSuite, ValidatesAndDepthTwo) {
+  const auto [p, q] = GetParam();
+  const Network net = make_bitonic_converter_network(p, q);
+  EXPECT_EQ(net.validate(), "");
+  EXPECT_EQ(net.width(), p * q);
+  EXPECT_LE(net.depth(), 2u);
+  EXPECT_LE(net.max_gate_width(), std::max(p, q));
+}
+
+TEST_P(BitonicConverterSuite, ConvertsAllBitonicShapesExhaustively) {
+  // Enumerate every bitonic 0/1-over-base sequence: choose transition
+  // positions i <= j and orientation.
+  const auto [p, q] = GetParam();
+  const Network net = make_bitonic_converter_network(p, q);
+  const std::size_t w = p * q;
+  for (Count base : {Count{0}, Count{3}}) {
+    for (std::size_t i = 0; i <= w; ++i) {
+      for (std::size_t j = i; j <= w; ++j) {
+        for (const bool ends_high : {false, true}) {
+          std::vector<Count> in(w, ends_high ? base + 1 : base);
+          for (std::size_t k = i; k < j; ++k) {
+            in[k] = ends_high ? base : base + 1;
+          }
+          ASSERT_TRUE(has_bitonic_property(in));
+          const auto out = output_counts(net, in);
+          ASSERT_TRUE(is_exact_step_output(out))
+              << "in " << format_sequence(in) << " -> "
+              << format_sequence(out);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BitonicConverterSuite,
+                         ::testing::Values(DParam{2, 2}, DParam{2, 3},
+                                           DParam{3, 2}, DParam{3, 3},
+                                           DParam{4, 3}, DParam{3, 4},
+                                           DParam{5, 4}, DParam{4, 5},
+                                           DParam{6, 6}, DParam{2, 7}));
+
+TEST(BitonicConverter, RandomBitonicLoads) {
+  std::mt19937_64 rng(23);
+  const Network net = make_bitonic_converter_network(5, 7);
+  for (int t = 0; t < 500; ++t) {
+    const auto in = random_bitonic_sequence(rng, 35, t % 9);
+    const auto out = output_counts(net, in);
+    ASSERT_TRUE(is_exact_step_output(out));
+  }
+}
+
+TEST(BitonicConverter, StepInputPassesThroughAsStep) {
+  // A step sequence is bitonic (<= 1 transition): D must preserve it.
+  const Network net = make_bitonic_converter_network(4, 4);
+  for (Count total = 0; total <= 32; ++total) {
+    const auto in = step_sequence(16, total);
+    EXPECT_EQ(output_counts(net, in), in);
+  }
+}
+
+TEST(BitonicConverter, OutputOrderIsPermutation) {
+  const Network net = make_bitonic_converter_network(3, 5);
+  std::vector<Wire> order(net.output_order().begin(),
+                          net.output_order().end());
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, identity_order(15));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,93 @@
+// End-to-end tests of the scnet_cli binary: build | verify | analyze |
+// count pipelines through real process invocations.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef SCNET_CLI_PATH
+#error "SCNET_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& cmd) {
+  CommandResult result;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+const std::string kCli = SCNET_CLI_PATH;
+
+TEST(Cli, BuildEmitsParsableText) {
+  const auto r = run_command(kCli + " build K 2x3");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("scnet 1"), std::string::npos);
+  EXPECT_NE(r.output.find("width 6"), std::string::npos);
+  EXPECT_NE(r.output.find("gate 0 1 2 3 4 5"), std::string::npos);
+}
+
+TEST(Cli, BuildVerifyPipelinePasses) {
+  const auto r =
+      run_command(kCli + " build L 2x3x2 | " + kCli + " verify");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("counting: PASS"), std::string::npos);
+  EXPECT_NE(r.output.find("sorting (0-1 exhaustive): PASS"),
+            std::string::npos);
+}
+
+TEST(Cli, BubbleFailsVerificationWithWitness) {
+  const auto r =
+      run_command(kCli + " build bubble 4 | " + kCli + " verify");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("counting: FAIL"), std::string::npos);
+  EXPECT_NE(r.output.find("witness"), std::string::npos);
+}
+
+TEST(Cli, CountAppliesLoad) {
+  const auto r = run_command(kCli + " build K 2x2 | " + kCli +
+                             " count 5,0,0,0");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("2 1 1 1"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeReportsStructure) {
+  const auto r =
+      run_command(kCli + " build R 4 4 | " + kCli + " analyze");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("width=16"), std::string::npos);
+  EXPECT_NE(r.output.find("contention:"), std::string::npos);
+}
+
+TEST(Cli, SvgIsEmitted) {
+  const auto r = run_command(kCli + " build bitonic 8 | " + kCli + " svg");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("<svg"), std::string::npos);
+}
+
+TEST(Cli, BadUsageExitsTwo) {
+  EXPECT_EQ(run_command(kCli + " frobnicate < /dev/null").exit_code, 2);
+  EXPECT_EQ(run_command(kCli + " build K 1x3").exit_code, 2);
+  EXPECT_EQ(run_command(kCli + " build bitonic 12").exit_code, 2);
+}
+
+TEST(Cli, ParseErrorsAreReported) {
+  const auto r = run_command("echo bogus | " + kCli + " info");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("parse error"), std::string::npos);
+}
+
+}  // namespace

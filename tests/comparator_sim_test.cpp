@@ -1,0 +1,75 @@
+// Comparator evaluation and the descending-order gate convention.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.h"
+#include "sim/comparator_sim.h"
+
+namespace scn {
+namespace {
+
+TEST(ComparatorSim, SingleGateSortsDescendingAcrossListedWires) {
+  NetworkBuilder b(3);
+  b.add_balancer({2, 0, 1});  // listed order 2,0,1
+  const Network net = std::move(b).finish_identity();
+  const std::vector<Count> in = {5, 9, 1};
+  // Values on wires (2,0,1) = (1,5,9) -> sorted desc (9,5,1) -> wire2=9,
+  // wire0=5, wire1=1.
+  EXPECT_EQ(comparator_output_counts(net, in),
+            (std::vector<Count>{5, 1, 9}));
+}
+
+TEST(ComparatorSim, OutputUsesLogicalOrder) {
+  NetworkBuilder b(2);
+  b.add_balancer({0, 1});
+  const Network net = std::move(b).finish({1, 0});
+  const std::vector<Count> in = {3, 7};
+  // Gate puts 7 on wire0, 3 on wire1; logical order (1,0) -> (3,7).
+  EXPECT_EQ(comparator_output_counts(net, in), (std::vector<Count>{3, 7}));
+}
+
+TEST(ComparatorSim, GenericTypeWithCustomOrder) {
+  NetworkBuilder b(2);
+  b.add_balancer({0, 1});
+  const Network net = std::move(b).finish_identity();
+  std::vector<std::string> vals = {"apple", "zebra"};
+  const auto out = comparator_output<std::string>(
+      net, vals, [](const std::string& a, const std::string& x) {
+        return a > x;
+      });
+  EXPECT_EQ(out[0], "zebra");
+  EXPECT_EQ(out[1], "apple");
+}
+
+TEST(ComparatorSim, NetworkSortAscendingReversesConvention) {
+  NetworkBuilder b(3);
+  b.add_balancer({0, 1, 2});
+  const Network net = std::move(b).finish_identity();
+  const std::vector<Count> in = {2, 9, 4};
+  EXPECT_EQ(network_sort_ascending(net, in), (std::vector<Count>{2, 4, 9}));
+}
+
+TEST(ComparatorSim, IsSortedDescending) {
+  const Count good[] = {5, 5, 3, 1};
+  EXPECT_TRUE(is_sorted_descending(good));
+  const Count bad[] = {5, 3, 4};
+  EXPECT_FALSE(is_sorted_descending(bad));
+  EXPECT_TRUE(is_sorted_descending({}));
+}
+
+TEST(ComparatorSim, StableUnderDuplicates) {
+  NetworkBuilder b(4);
+  b.add_balancer({0, 1});
+  b.add_balancer({2, 3});
+  b.add_balancer({0, 2});
+  b.add_balancer({1, 3});
+  b.add_balancer({1, 2});
+  const Network net = std::move(b).finish_identity();
+  const std::vector<Count> in = {1, 1, 1, 1};
+  EXPECT_EQ(comparator_output_counts(net, in),
+            (std::vector<Count>{1, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,85 @@
+// Real multithreaded traversal: quiescent outputs match count propagation,
+// the step property holds, and resets work.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "sim/concurrent_sim.h"
+#include "sim/count_sim.h"
+#include "verify/checkers.h"
+
+namespace scn {
+namespace {
+
+TEST(ConcurrentSim, SingleThreadMatchesCountPropagation) {
+  const Network net = make_k_network({3, 2});
+  ConcurrentNetwork cn(net);
+  std::vector<Count> in(net.width(), 0);
+  for (std::size_t i = 0; i < 25; ++i) {
+    const Wire w = static_cast<Wire>(i % net.width());
+    cn.traverse(w);
+    in[static_cast<std::size_t>(w)] += 1;
+  }
+  EXPECT_EQ(cn.output_counts(), output_counts(net, in));
+}
+
+TEST(ConcurrentSim, MultithreadedOutputsHaveStepProperty) {
+  const Network net = make_k_network({2, 2, 2, 2});
+  ConcurrentNetwork cn(net);
+  const ConcurrentRunResult res = run_concurrent(cn, 8, 2000, 123);
+  EXPECT_EQ(res.tokens, 16000u);
+  EXPECT_EQ(std::accumulate(res.outputs.begin(), res.outputs.end(), Count{0}),
+            16000);
+  EXPECT_TRUE(has_step_property(res.outputs))
+      << format_sequence(res.outputs);
+  EXPECT_TRUE(is_exact_step_output(res.outputs));
+}
+
+TEST(ConcurrentSim, MultithreadedLNetworkCounts) {
+  const Network net = make_l_network({3, 2, 2});
+  ConcurrentNetwork cn(net);
+  const ConcurrentRunResult res = run_concurrent(cn, 6, 3000, 7);
+  EXPECT_TRUE(is_exact_step_output(res.outputs))
+      << format_sequence(res.outputs);
+}
+
+TEST(ConcurrentSim, ExitTicketsArePerPositionSequential) {
+  const Network net = make_k_network({2, 2});
+  ConcurrentNetwork cn(net);
+  std::vector<std::uint64_t> seen_tickets;
+  for (int i = 0; i < 12; ++i) {
+    const auto ev = cn.traverse(static_cast<Wire>(i % 4));
+    if (ev.position == 0) seen_tickets.push_back(ev.ticket);
+  }
+  for (std::size_t i = 0; i < seen_tickets.size(); ++i) {
+    EXPECT_EQ(seen_tickets[i], i);
+  }
+}
+
+TEST(ConcurrentSim, ResetRestoresInitialState) {
+  const Network net = make_k_network({2, 3});
+  ConcurrentNetwork cn(net);
+  (void)run_concurrent(cn, 4, 500, 1);
+  cn.reset();
+  for (std::size_t i = 0; i < net.width(); ++i) {
+    EXPECT_EQ(cn.exits(i), 0);
+  }
+  const ConcurrentRunResult res = run_concurrent(cn, 4, 500, 2);
+  EXPECT_TRUE(is_exact_step_output(res.outputs));
+}
+
+TEST(ConcurrentSim, ManyThreadsSmallNetwork) {
+  // Oversubscription stress: more threads than cores on a tiny network.
+  const Network net = make_k_network({2, 2});
+  ConcurrentNetwork cn(net);
+  const std::size_t threads =
+      std::max(8u, 2 * std::thread::hardware_concurrency());
+  const ConcurrentRunResult res = run_concurrent(cn, threads, 1000, 3);
+  EXPECT_TRUE(is_exact_step_output(res.outputs));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,149 @@
+// Cost model: the recurrences must match the built networks gate for gate
+// and endpoint for endpoint, across factorizations and variants — and then
+// scale to instances far too large to build.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "core/counting_network.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "core/merger.h"
+#include "core/two_merger.h"
+
+namespace scn {
+namespace {
+
+NetworkCost built_cost(const Network& net) {
+  return {net.gate_count(), net.wire_endpoint_count()};
+}
+
+TEST(CostModel, TwoMergerMatchesBuilt) {
+  for (const auto& [p, q0, q1] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{2, 2, 2},
+        {3, 2, 2},
+        {4, 3, 1},
+        {2, 1, 3},
+        {5, 4, 4}}) {
+    const Network net = make_two_merger_network(p, q0, q1, false);
+    EXPECT_EQ(two_merger_cost(p, q0, q1, false), built_cost(net))
+        << p << "," << q0 << "," << q1;
+  }
+  for (const auto& [p, q] : {std::pair<std::size_t, std::size_t>{2, 2},
+                             {3, 3},
+                             {4, 2},
+                             {2, 5}}) {
+    const Network net = make_two_merger_network(p, q, q, true);
+    EXPECT_EQ(two_merger_cost(p, q, q, true), built_cost(net))
+        << "capped " << p << "," << q;
+  }
+}
+
+TEST(CostModel, StaircaseMatchesBuiltAllVariants) {
+  for (const StaircaseVariant v :
+       {StaircaseVariant::kTwoMerger, StaircaseVariant::kTwoMergerCapped,
+        StaircaseVariant::kRebalanceCount,
+        StaircaseVariant::kRebalanceBitonic}) {
+    for (const auto& [r, p, q] :
+         {std::tuple<std::size_t, std::size_t, std::size_t>{2, 2, 2},
+          {3, 2, 2},
+          {4, 3, 3},
+          {5, 2, 3},
+          {3, 3, 2}}) {
+      const Network net =
+          make_staircase_merger_network(r, p, q, single_balancer_base(), v);
+      EXPECT_EQ(staircase_cost(r, p, q, single_balancer_cost(), v),
+                built_cost(net))
+          << to_string(v) << " " << r << "," << p << "," << q;
+    }
+  }
+}
+
+TEST(CostModel, MergerMatchesBuilt) {
+  for (const auto& factors :
+       {std::vector<std::size_t>{2, 2}, {2, 2, 2}, {3, 2, 2}, {2, 3, 2},
+        {2, 2, 2, 2}, {3, 2, 4, 2}}) {
+    const Network net = make_merger_network(factors, single_balancer_base(),
+                                            StaircaseVariant::kRebalanceCount);
+    EXPECT_EQ(merger_cost(factors, single_balancer_cost(),
+                          StaircaseVariant::kRebalanceCount),
+              built_cost(net))
+        << format_factors(factors);
+  }
+}
+
+TEST(CostModel, KMatchesBuiltAcrossAllFactorizationsOfSmallWidths) {
+  for (const std::size_t w : {8u, 12u, 16u, 24u, 30u, 36u}) {
+    for (const auto& factors : all_factorizations(w)) {
+      const Network net = make_k_network(factors);
+      EXPECT_EQ(k_cost(factors), built_cost(net)) << format_factors(factors);
+    }
+  }
+}
+
+TEST(CostModel, GenericVariantsMatchBuilt) {
+  for (const StaircaseVariant v :
+       {StaircaseVariant::kTwoMerger, StaircaseVariant::kTwoMergerCapped,
+        StaircaseVariant::kRebalanceBitonic}) {
+    for (const auto& factors :
+         {std::vector<std::size_t>{2, 2, 2}, {3, 2, 2}, {2, 2, 3, 2}}) {
+      const Network net =
+          make_counting_network(factors, single_balancer_base(), v);
+      EXPECT_EQ(counting_cost(factors, single_balancer_cost(), v),
+                built_cost(net))
+          << format_factors(factors) << " " << to_string(v);
+    }
+  }
+}
+
+TEST(CostModel, ScalesToUnbuildableInstances) {
+  // K(8^10): width 8^10 > 10^9 — cost computed in microseconds.
+  const std::vector<std::size_t> factors(10, 8);
+  const NetworkCost cost = k_cost(factors);
+  EXPECT_GT(cost.gates, std::size_t{1} << 30);
+  EXPECT_GT(cost.endpoints, cost.gates);
+  // Endpoints per wire ~ depth-ish sanity: endpoints / width <= depth.
+  const double width = std::pow(8.0, 10.0);
+  EXPECT_LE(static_cast<double>(cost.endpoints) / width,
+            static_cast<double>(k_depth_formula(10)) + 1.0);
+}
+
+TEST(CostModel, RMatchesBuiltAcrossGrid) {
+  for (std::size_t p = 2; p <= 24; ++p) {
+    for (std::size_t q = 2; q <= 24; ++q) {
+      const Network net = make_r_network(p, q);
+      ASSERT_EQ(r_cost(p, q), built_cost(net)) << "R(" << p << "," << q
+                                               << ")";
+    }
+  }
+}
+
+TEST(CostModel, LMatchesBuilt) {
+  for (const auto& factors :
+       {std::vector<std::size_t>{2, 2}, {3, 3}, {5, 4}, {2, 2, 2},
+        {3, 2, 2}, {5, 4, 3}, {2, 2, 2, 2}, {4, 3, 2, 2}}) {
+    const Network net = make_l_network(factors);
+    EXPECT_EQ(l_cost(factors), built_cost(net)) << format_factors(factors);
+  }
+}
+
+TEST(CostModel, LCostOfHugeInstance) {
+  // L(7^8): width ~5.7M, gates countable without building.
+  const std::vector<std::size_t> factors(8, 7);
+  const NetworkCost cost = l_cost(factors);
+  EXPECT_GT(cost.gates, 1000000u);
+  EXPECT_GT(cost.endpoints, cost.gates);
+}
+
+TEST(CostModel, ArithmeticHelpers) {
+  const NetworkCost a{2, 10};
+  const NetworkCost b{3, 7};
+  EXPECT_EQ(a + b, (NetworkCost{5, 17}));
+  EXPECT_EQ(4 * a, (NetworkCost{8, 40}));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,95 @@
+// Generic C(p0..pn-1) (§4.1, Prop 1): correctness for arbitrary
+// BaseFactory instantiations and the generic depth formula.
+#include <gtest/gtest.h>
+
+#include "core/counting_network.h"
+#include "core/factorization.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "verify/counting_verify.h"
+
+namespace scn {
+namespace {
+
+using Factors = std::vector<std::size_t>;
+
+/// A deliberately naive base: C(p, q) as a brute-force column of balancers
+/// (three repeated pq-balancers) — still a counting network, but with d = 3.
+/// Exercises Prop 1 with a base depth other than 1 or 16.
+BaseFactory deep_base() {
+  return [](NetworkBuilder& builder, std::span<const Wire> wires,
+            std::size_t, std::size_t) -> std::vector<Wire> {
+    builder.add_balancer(wires);
+    builder.add_balancer(wires);
+    builder.add_balancer(wires);
+    return {wires.begin(), wires.end()};
+  };
+}
+
+TEST(CountingNetwork, GenericBaseStillCounts) {
+  for (const Factors& f :
+       {Factors{2, 2, 2}, Factors{3, 2, 2}, Factors{2, 3, 2}}) {
+    const Network net = make_counting_network(f, deep_base(),
+                                              StaircaseVariant::kRebalanceCount);
+    EXPECT_EQ(net.validate(), "");
+    EXPECT_TRUE(verify_counting(net).ok) << format_factors(f);
+  }
+}
+
+TEST(CountingNetwork, Proposition1DepthWithDeepBase) {
+  // d = 3, rebalance-count staircase: s = 2d + 1 = 7.
+  for (const Factors& f : {Factors{2, 2, 2}, Factors{2, 2, 2, 2}}) {
+    const Network net = make_counting_network(f, deep_base(),
+                                              StaircaseVariant::kRebalanceCount);
+    EXPECT_EQ(net.depth(), c_depth_formula(f.size(), 3, 7))
+        << format_factors(f);
+  }
+}
+
+TEST(CountingNetwork, Proposition1DepthWithRBase) {
+  // The L instantiation, but with the rebalance-count staircase instead of
+  // bitonic: depth <= (n-1)*16 + ((n-1)(n-2)/2)*(2*16+1).
+  const Factors f{2, 2, 2};
+  const Network net = make_counting_network(f, r_network_base(),
+                                            StaircaseVariant::kRebalanceCount);
+  EXPECT_LE(net.depth(), c_depth_formula(3, 16, 33));
+  EXPECT_TRUE(verify_counting(net).ok);
+}
+
+TEST(CountingNetwork, MixedVariantsAllCount) {
+  const Factors f{3, 2, 2};
+  for (const StaircaseVariant v :
+       {StaircaseVariant::kTwoMerger, StaircaseVariant::kTwoMergerCapped,
+        StaircaseVariant::kRebalanceCount,
+        StaircaseVariant::kRebalanceBitonic}) {
+    const Network net = make_counting_network(f, single_balancer_base(), v);
+    EXPECT_EQ(net.validate(), "") << to_string(v);
+    EXPECT_TRUE(verify_counting(net).ok) << to_string(v);
+  }
+}
+
+TEST(CountingNetwork, WidthOneFactorList) {
+  const Network net =
+      make_counting_network(Factors{5}, single_balancer_base(),
+                            StaircaseVariant::kRebalanceCount);
+  EXPECT_EQ(net.width(), 5u);
+  EXPECT_EQ(net.depth(), 1u);
+  EXPECT_TRUE(verify_counting(net).ok);
+}
+
+TEST(CountingNetwork, FactorOrderChangesNetworkButNotCorrectness) {
+  // Distinct orderings of the same multiset are distinct networks (the
+  // paper notes they share the same depth); all must count.
+  for (const Factors& f : {Factors{2, 3, 4}, Factors{4, 3, 2},
+                           Factors{3, 4, 2}, Factors{2, 4, 3}}) {
+    const Network net = make_counting_network(f, single_balancer_base(),
+                                              StaircaseVariant::kRebalanceCount);
+    EXPECT_EQ(net.depth(), k_depth_formula(3)) << format_factors(f);
+    CountingVerifyOptions opts;
+    opts.random_per_total = 3;
+    EXPECT_TRUE(verify_counting(net, opts).ok) << format_factors(f);
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,92 @@
+// Counting trees: bit-reversed toggling gives a correct single-entry
+// Fetch&Inc; multi-entry traffic breaks it (it is not a counting network).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "count/counting_tree.h"
+#include "sim/count_sim.h"
+#include "sim/manual_router.h"
+#include "verify/counting_verify.h"
+
+namespace scn {
+namespace {
+
+TEST(BitReverse, Basics) {
+  EXPECT_EQ(bit_reverse(0b000, 3), 0b000u);
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  EXPECT_EQ(bit_reverse(0b1011, 4), 0b1101u);
+  for (std::size_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(bit_reverse(bit_reverse(x, 6), 6), x);
+  }
+}
+
+TEST(CountingTree, StructureIsLogDepthWMinusOneGates) {
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const Network net = make_counting_tree_network(k);
+    EXPECT_EQ(net.validate(), "");
+    EXPECT_EQ(net.depth(), k);
+    EXPECT_EQ(net.gate_count(), (std::size_t{1} << k) - 1);
+    EXPECT_EQ(net.max_gate_width(), 2u);
+  }
+}
+
+TEST(CountingTree, RootEntryTokensExitInLogicalOrder) {
+  const Network net = make_counting_tree_network(3);
+  ManualTokenRouter router(net);
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const auto v = router.run_to_exit(router.spawn(0));
+    EXPECT_EQ(v, i) << "token " << i;
+  }
+}
+
+TEST(CountingTree, RootEntryCountsAreStep) {
+  const Network net = make_counting_tree_network(4);
+  for (Count n = 0; n <= 64; ++n) {
+    std::vector<Count> in(net.width(), 0);
+    in[0] = n;
+    EXPECT_TRUE(counts_to_step(net, in)) << n << " tokens";
+  }
+}
+
+TEST(CountingTree, IsNotACountingNetworkForArbitraryEntry) {
+  const Network net = make_counting_tree_network(3);
+  const CountingVerdict v = verify_counting(net);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(TreeCounter, SingleThreadSequential) {
+  TreeCounter c(3);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(c.next(), i);
+  }
+  EXPECT_STREQ(c.name(), "tree");
+}
+
+TEST(TreeCounter, ConcurrentPermutation) {
+  TreeCounter c(4);
+  constexpr std::size_t kThreads = 8, kPer = 3000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < kPer; ++i) got[t].push_back(c.next());
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  std::vector<std::uint64_t> all;
+  for (auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,123 @@
+// The construction functions accept arbitrary logical wire maps — the
+// mechanism the recursive composition relies on. These tests drive the
+// builders with shuffled and offset wire vectors directly (instead of the
+// identity maps the make_* factories use) and check behavior is unchanged
+// in logical terms.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/counting_network.h"
+#include "core/k_network.h"
+#include "core/r_network.h"
+#include "core/two_merger.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+#include "verify/checkers.h"
+
+namespace scn {
+namespace {
+
+/// Builds K(factors) over a shuffled logical input order and verifies the
+/// logical contract: tokens presented in logical order come out step in
+/// the returned output order.
+TEST(CustomWiring, KOnShuffledWires) {
+  std::mt19937_64 rng(1);
+  const std::vector<std::size_t> factors = {2, 3, 2};
+  const std::size_t w = 12;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Wire> logical(w);
+    std::iota(logical.begin(), logical.end(), 0);
+    std::shuffle(logical.begin(), logical.end(), rng);
+
+    NetworkBuilder b(w);
+    const std::vector<Wire> out_order =
+        build_k_network(b, logical, factors);
+    const Network net = std::move(b).finish(out_order);
+    ASSERT_EQ(net.validate(), "");
+
+    // Feed a skewed logical load: logical element i carries i tokens.
+    std::vector<Count> phys_in(w, 0);
+    for (std::size_t i = 0; i < w; ++i) {
+      phys_in[static_cast<std::size_t>(logical[i])] =
+          static_cast<Count>(i % 5);
+    }
+    const auto out = output_counts(net, phys_in);
+    ASSERT_TRUE(is_exact_step_output(out)) << format_sequence(out);
+  }
+}
+
+TEST(CustomWiring, RNetworkOnOffsetSubrange) {
+  // Build R(3, 4) occupying the MIDDLE 12 wires of a 20-wire network; the
+  // outer wires are untouched.
+  NetworkBuilder b(20);
+  std::vector<Wire> middle(12);
+  std::iota(middle.begin(), middle.end(), 4);
+  const std::vector<Wire> sub_out = build_r_network(b, middle, 3, 4);
+  // Identity on the untouched outside, R's order in the middle.
+  std::vector<Wire> order;
+  for (Wire wv = 0; wv < 4; ++wv) order.push_back(wv);
+  order.insert(order.end(), sub_out.begin(), sub_out.end());
+  for (Wire wv = 16; wv < 20; ++wv) order.push_back(wv);
+  const Network net = std::move(b).finish(std::move(order));
+  ASSERT_EQ(net.validate(), "");
+
+  std::vector<Count> in(20, 0);
+  in[7] = 9;
+  in[12] = 4;
+  const auto out = output_counts(net, in);
+  // The middle 12 logical outputs carry the step distribution of 13.
+  const std::vector<Count> middle_out(out.begin() + 4, out.begin() + 16);
+  EXPECT_TRUE(is_exact_step_output(middle_out));
+  // Outside wires untouched.
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[19], 0);
+}
+
+TEST(CustomWiring, TwoMergerWithInterleavedOperands) {
+  // X0 on the even physical wires, X1 on the odd ones.
+  const std::size_t p = 2, q = 2;
+  NetworkBuilder b(8);
+  std::vector<Wire> x0, x1;
+  for (Wire wv = 0; wv < 8; wv += 2) x0.push_back(wv);
+  for (Wire wv = 1; wv < 8; wv += 2) x1.push_back(wv);
+  const std::vector<Wire> out = build_two_merger(b, x0, x1, p);
+  const Network net = std::move(b).finish(std::vector<Wire>(out));
+  ASSERT_EQ(net.validate(), "");
+  for (Count t0 = 0; t0 <= 8; ++t0) {
+    for (Count t1 = 0; t1 <= 8; ++t1) {
+      const auto s0 = step_sequence(p * q, t0);
+      const auto s1 = step_sequence(p * q, t1);
+      std::vector<Count> in(8, 0);
+      for (std::size_t i = 0; i < 4; ++i) {
+        in[static_cast<std::size_t>(x0[i])] = s0[i];
+        in[static_cast<std::size_t>(x1[i])] = s1[i];
+      }
+      const auto res = output_counts(net, in);
+      ASSERT_TRUE(is_exact_step_output(res))
+          << t0 << "+" << t1 << " -> " << format_sequence(res);
+    }
+  }
+}
+
+TEST(CustomWiring, GenericCountingOnReversedWires) {
+  NetworkBuilder b(8);
+  std::vector<Wire> reversed(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    reversed[i] = static_cast<Wire>(7 - i);
+  }
+  const std::vector<std::size_t> factors = {2, 2, 2};
+  const auto out = build_counting(b, reversed, factors,
+                                  single_balancer_base(),
+                                  StaircaseVariant::kRebalanceCount);
+  const Network net = std::move(b).finish(std::vector<Wire>(out));
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 30; ++t) {
+    const auto in = random_count_vector(rng, 8, 17 + t);
+    EXPECT_TRUE(is_exact_step_output(output_counts(net, in)));
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,84 @@
+// The cyclic arbitrary-width adaptation: counts correctly on the real
+// wires, but pays recirculation — the cost the paper's acyclic family
+// eliminates.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/bitonic.h"
+#include "baseline/cyclic_adapter.h"
+#include "core/k_network.h"
+#include "verify/checkers.h"
+
+namespace scn {
+namespace {
+
+TEST(CyclicAdapter, FullWidthBehavesLikeTheBase) {
+  const Network base = make_bitonic_network(3);
+  CyclicCountingAdapter adapter(base, 8);
+  for (int i = 0; i < 40; ++i) {
+    std::size_t passes = 0;
+    adapter.traverse(static_cast<Wire>(i % 8), &passes);
+    EXPECT_EQ(passes, 1u);  // no excess wires -> no recirculation
+  }
+  EXPECT_TRUE(is_exact_step_output(adapter.exit_counts()));
+}
+
+class CyclicWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CyclicWidths, CountsOnRealWires) {
+  const std::size_t w = GetParam();
+  const Network base = make_bitonic_network(3);  // W = 8
+  CyclicCountingAdapter adapter(base, w);
+  std::mt19937_64 rng(w);
+  std::uniform_int_distribution<std::size_t> wire(0, w - 1);
+  for (int total = 1; total <= 60; ++total) {
+    adapter.traverse(static_cast<Wire>(wire(rng)));
+    // Every quiescent prefix must show the step property on the w real
+    // wires.
+    ASSERT_TRUE(is_exact_step_output(adapter.exit_counts()))
+        << "after " << total << " tokens: "
+        << format_sequence(adapter.exit_counts());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CyclicWidths,
+                         ::testing::Values(3u, 5u, 6u, 7u));
+
+TEST(CyclicAdapter, RecirculationHappensAndIsBounded) {
+  const Network base = make_bitonic_network(4);  // W = 16
+  CyclicCountingAdapter adapter(base, 9);
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::size_t> wire(0, 8);
+  bool saw_recirculation = false;
+  for (int i = 0; i < 500; ++i) {
+    std::size_t passes = 0;
+    adapter.traverse(static_cast<Wire>(wire(rng)), &passes);
+    saw_recirculation = saw_recirculation || passes > 1;
+    ASSERT_LE(passes, 16u) << "runaway recirculation";
+  }
+  EXPECT_TRUE(saw_recirculation);
+  // Mean passes > 1: the acyclic family avoids exactly this overhead.
+  EXPECT_GT(adapter.total_passes(), adapter.total_tokens());
+}
+
+TEST(CyclicAdapter, KBaseWorksToo) {
+  const Network base = make_k_network({4, 4});  // W = 16
+  CyclicCountingAdapter adapter(base, 11);
+  std::mt19937_64 rng(6);
+  std::uniform_int_distribution<std::size_t> wire(0, 10);
+  for (int i = 0; i < 200; ++i) {
+    adapter.traverse(static_cast<Wire>(wire(rng)));
+  }
+  EXPECT_TRUE(is_exact_step_output(adapter.exit_counts()));
+}
+
+TEST(CyclicAdapter, WidthOneDrainsEverythingToWireZero) {
+  const Network base = make_bitonic_network(2);
+  CyclicCountingAdapter adapter(base, 1);
+  for (int i = 0; i < 10; ++i) adapter.traverse(0);
+  EXPECT_EQ(adapter.exit_counts(), (std::vector<Count>{10}));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,110 @@
+// Discrete-event contention simulator: conservation, step property under
+// queueing, determinism, latency/throughput sanity, and the contention
+// mechanics (serial gates back up; parallel layers don't).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "sim/event_sim.h"
+#include "verify/checkers.h"
+
+namespace scn {
+namespace {
+
+EventSimConfig small_config() {
+  EventSimConfig c;
+  c.clients = 4;
+  c.tokens_per_client = 100;
+  return c;
+}
+
+TEST(EventSim, ConservesTokens) {
+  const Network net = make_k_network({2, 2, 2});
+  const EventSimResult r = run_event_simulation(net, small_config());
+  EXPECT_EQ(r.completed, 400u);
+  EXPECT_EQ(std::accumulate(r.outputs.begin(), r.outputs.end(), Count{0}),
+            400);
+}
+
+TEST(EventSim, OutputsSatisfyStepPropertyDespiteQueueing) {
+  for (const auto& factors :
+       {std::vector<std::size_t>{2, 2, 2}, {4, 4}, {3, 2, 2}}) {
+    const Network net = make_k_network(factors);
+    const EventSimResult r = run_event_simulation(net, small_config());
+    EXPECT_TRUE(is_exact_step_output(r.outputs))
+        << format_sequence(r.outputs);
+  }
+}
+
+TEST(EventSim, DeterministicUnderSeed) {
+  const Network net = make_l_network({2, 3, 2});
+  const EventSimResult a = run_event_simulation(net, small_config());
+  const EventSimResult b = run_event_simulation(net, small_config());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(EventSim, SingleClientLatencyEqualsUncontendedPath) {
+  // One client, no queueing: every token's latency is exactly
+  // depth * (service + wire_delay) when all layers are full (K(2^n)).
+  const Network net = make_k_network({2, 2});  // depth 1, single 4-balancer
+  EventSimConfig c;
+  c.clients = 1;
+  c.tokens_per_client = 10;
+  c.service_base = 2.0;
+  c.service_per_port = 0.5;  // width 4 -> service = 2 + 1.5 = 3.5
+  c.wire_delay = 1.0;
+  const EventSimResult r = run_event_simulation(net, c);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 3.5 + 1.0);
+  EXPECT_DOUBLE_EQ(r.max_latency, r.mean_latency);
+}
+
+TEST(EventSim, HotGateSaturatesUnderLoad) {
+  // Single balancer: with many clients the gate utilization approaches 1
+  // and mean latency grows with the client count.
+  const Network net = make_k_network({8});
+  EventSimConfig low = small_config();
+  low.clients = 1;
+  EventSimConfig high = small_config();
+  high.clients = 16;
+  const EventSimResult rl = run_event_simulation(net, low);
+  const EventSimResult rh = run_event_simulation(net, high);
+  EXPECT_GT(rh.hottest_gate_utilization, 0.95);
+  EXPECT_GT(rh.mean_latency, 4 * rl.mean_latency);
+}
+
+TEST(EventSim, DeeperNetworkSpreadsContention) {
+  // At high concurrency, the deep-narrow K(2^4) has lower per-gate
+  // utilization than the single 16-balancer.
+  EventSimConfig c = small_config();
+  c.clients = 32;
+  const EventSimResult wide =
+      run_event_simulation(make_k_network({16}), c);
+  const EventSimResult deep =
+      run_event_simulation(make_k_network({2, 2, 2, 2}), c);
+  EXPECT_LT(deep.hottest_gate_utilization, wide.hottest_gate_utilization);
+}
+
+TEST(EventSim, ThinkTimeReducesThroughput) {
+  const Network net = make_k_network({4, 4});
+  EventSimConfig busy = small_config();
+  EventSimConfig idle = small_config();
+  idle.think_time = 50.0;
+  const EventSimResult rb = run_event_simulation(net, busy);
+  const EventSimResult ri = run_event_simulation(net, idle);
+  EXPECT_GT(rb.throughput, ri.throughput);
+}
+
+TEST(EventSim, EmptyNetworkPassesTokensThrough) {
+  const Network net = NetworkBuilder(4).finish_identity();
+  EventSimConfig c = small_config();
+  const EventSimResult r = run_event_simulation(net, c);
+  EXPECT_EQ(r.completed, c.clients * c.tokens_per_client);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 0.0);
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,99 @@
+// DOT/ASCII export: well-formed output with the expected inventory.
+#include <gtest/gtest.h>
+
+#include "core/k_network.h"
+#include "net/export.h"
+
+namespace scn {
+namespace {
+
+TEST(Dot, ContainsAllGatesAndTerminals) {
+  const Network net = make_k_network({2, 3});
+  const std::string dot = to_dot(net, "k23");
+  EXPECT_NE(dot.find("digraph \"k23\""), std::string::npos);
+  for (std::size_t g = 0; g < net.gate_count(); ++g) {
+    EXPECT_NE(dot.find("g" + std::to_string(g) + " ["), std::string::npos);
+  }
+  for (std::size_t w = 0; w < net.width(); ++w) {
+    EXPECT_NE(dot.find("in" + std::to_string(w) + " ["), std::string::npos);
+    EXPECT_NE(dot.find("out" + std::to_string(w) + " ["), std::string::npos);
+  }
+  // Edge count: every gate wire contributes one edge, plus w exit edges.
+  const std::size_t arrows = [&dot] {
+    std::size_t n = 0;
+    for (std::size_t at = dot.find("->"); at != std::string::npos;
+         at = dot.find("->", at + 1)) {
+      ++n;
+    }
+    return n;
+  }();
+  EXPECT_EQ(arrows, net.wire_endpoint_count() + net.width());
+}
+
+TEST(Ascii, OneRowPerWire) {
+  const Network net = make_k_network({2, 2});
+  const std::string art = to_ascii(net);
+  std::size_t lines = 0;
+  for (const char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, net.width());
+  // Gate endpoints are drawn as '+'.
+  EXPECT_NE(art.find('+'), std::string::npos);
+}
+
+TEST(Summarize, MentionsKeyStats) {
+  const Network net = make_k_network({3, 2});
+  const std::string s = summarize(net);
+  EXPECT_NE(s.find("width=6"), std::string::npos);
+  EXPECT_NE(s.find("depth=1"), std::string::npos);
+  EXPECT_NE(s.find("max_gate_width=6"), std::string::npos);
+}
+
+TEST(Svg, StructureMatchesNetwork) {
+  const Network net = make_k_network({2, 3});
+  const std::string svg = to_svg(net, "k23");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("k23"), std::string::npos);
+  // One dot per gate endpoint.
+  std::size_t circles = 0;
+  for (std::size_t at = svg.find("<circle"); at != std::string::npos;
+       at = svg.find("<circle", at + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, net.wire_endpoint_count());
+  // One horizontal line per wire plus one vertical per gate.
+  std::size_t lines = 0;
+  for (std::size_t at = svg.find("<line"); at != std::string::npos;
+       at = svg.find("<line", at + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, net.width() + net.gate_count());
+  // Output labels reflect the logical order.
+  for (std::size_t w = 0; w < net.width(); ++w) {
+    EXPECT_NE(svg.find(">y" + std::to_string(w) + "<"), std::string::npos);
+  }
+}
+
+TEST(Svg, EmptyNetwork) {
+  const Network net = NetworkBuilder(3).finish_identity();
+  const std::string svg = to_svg(net);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  std::size_t lines = 0;
+  for (std::size_t at = svg.find("<line"); at != std::string::npos;
+       at = svg.find("<line", at + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(Dot, EmptyNetworkStillValidDot) {
+  const Network net = NetworkBuilder(2).finish_identity();
+  const std::string dot = to_dot(net);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,148 @@
+// Factorization utilities and the paper's depth formulas.
+#include <gtest/gtest.h>
+
+#include "core/factorization.h"
+
+namespace scn {
+namespace {
+
+TEST(PrimeFactorization, Basics) {
+  EXPECT_EQ(prime_factorization(2), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(prime_factorization(60), (std::vector<std::size_t>{2, 2, 3, 5}));
+  EXPECT_EQ(prime_factorization(97), (std::vector<std::size_t>{97}));
+  EXPECT_EQ(prime_factorization(1024),
+            (std::vector<std::size_t>(10, 2)));
+}
+
+TEST(AllFactorizations, TwelveHasFour) {
+  // 12 = 12 = 2*6 = 3*4 = 2*2*3.
+  const auto fs = all_factorizations(12);
+  EXPECT_EQ(fs.size(), 4u);
+  for (const auto& f : fs) {
+    EXPECT_EQ(product(f), 12u);
+    EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+    for (const std::size_t p : f) EXPECT_GE(p, 2u);
+  }
+}
+
+TEST(AllFactorizations, PrimeHasOnlyItself) {
+  const auto fs = all_factorizations(13);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0], (std::vector<std::size_t>{13}));
+}
+
+TEST(AllFactorizations, CountsMatchMultiplicativePartitions) {
+  // Known multiplicative partition numbers: 16 -> 5, 24 -> 7, 36 -> 9,
+  // 64 -> 11, 96 -> 19 (OEIS A001055).
+  EXPECT_EQ(all_factorizations(16).size(), 5u);
+  EXPECT_EQ(all_factorizations(24).size(), 7u);
+  EXPECT_EQ(all_factorizations(36).size(), 9u);
+  EXPECT_EQ(all_factorizations(64).size(), 11u);
+  EXPECT_EQ(all_factorizations(96).size(), 19u);
+}
+
+TEST(AllFactorizations, LimitTruncates) {
+  EXPECT_EQ(all_factorizations(96, 2, 5).size(), 5u);
+}
+
+TEST(AllFactorizations, MinFactorFilters) {
+  // Factorizations of 48 into parts >= 4: 48, 4*12, 6*8, 4*4*3? no (3<4).
+  const auto fs = all_factorizations(48, 4);
+  for (const auto& f : fs) {
+    EXPECT_EQ(product(f), 48u);
+    for (const std::size_t p : f) EXPECT_GE(p, 4u);
+  }
+}
+
+TEST(BalancedFactorization, RespectsTargetWhenPossible) {
+  for (const std::size_t w : {24u, 64u, 120u, 360u, 1024u}) {
+    for (const std::size_t target : {2u, 4u, 8u, 16u}) {
+      const auto f = balanced_factorization(w, target);
+      EXPECT_EQ(product(f), w);
+      for (const std::size_t p : f) {
+        // A factor may exceed target only if it is a single prime > target.
+        if (p > target) {
+          EXPECT_EQ(prime_factorization(p).size(), 1u) << w << " " << target;
+        }
+      }
+    }
+  }
+}
+
+TEST(BalancedFactorization, LargePrimeSurvives) {
+  const auto f = balanced_factorization(2 * 97, 8);
+  EXPECT_EQ(product(f), 194u);
+  EXPECT_TRUE(std::find(f.begin(), f.end(), 97u) != f.end());
+}
+
+TEST(ProductAndMax, Basics) {
+  const std::size_t f[] = {3, 4, 5};
+  EXPECT_EQ(product(f), 60u);
+  EXPECT_EQ(max_factor(f), 5u);
+  EXPECT_EQ(product(std::span<const std::size_t>{}), 1u);
+}
+
+TEST(MaxPairProduct, TwoLargest) {
+  const std::size_t f[] = {2, 7, 3, 5};
+  EXPECT_EQ(max_pair_product(f), 35u);
+  const std::size_t rep[] = {4, 4, 2};
+  EXPECT_EQ(max_pair_product(rep), 16u);
+  const std::size_t single[] = {6};
+  EXPECT_EQ(max_pair_product(single), 6u);
+}
+
+TEST(FormatFactors, Rendering) {
+  const std::size_t f[] = {2, 3, 5};
+  EXPECT_EQ(format_factors(f), "2x3x5");
+}
+
+TEST(DepthFormulas, Proposition6Values) {
+  EXPECT_EQ(k_depth_formula(1), 1u);
+  EXPECT_EQ(k_depth_formula(2), 1u);   // 1.5*4 - 7 + 2
+  EXPECT_EQ(k_depth_formula(3), 5u);   // 13.5 - 10.5 + 2
+  EXPECT_EQ(k_depth_formula(4), 12u);  // 24 - 14 + 2
+  EXPECT_EQ(k_depth_formula(5), 22u);
+  EXPECT_EQ(k_depth_formula(6), 35u);
+}
+
+TEST(DepthFormulas, Theorem7Values) {
+  EXPECT_EQ(l_depth_bound(2), 16u);   // (76 - 50 + 6)/2
+  EXPECT_EQ(l_depth_bound(3), 51u);   // (171 - 75 + 6)/2
+  EXPECT_EQ(l_depth_bound(4), 105u);  // (304 - 100 + 6)/2
+}
+
+TEST(DepthFormulas, Proposition1GeneralForm) {
+  // depth(C) = (n-1)d + ((n-1)(n-2)/2) s; with d = 1, s = 3 this must
+  // coincide with the K formula.
+  for (std::size_t n = 2; n <= 10; ++n) {
+    EXPECT_EQ(c_depth_formula(n, 1, 3), k_depth_formula(n));
+  }
+}
+
+TEST(DepthFormulas, Proposition3MergerForm) {
+  EXPECT_EQ(m_depth_formula(2, 1, 3), 1u);
+  EXPECT_EQ(m_depth_formula(3, 1, 3), 4u);
+  EXPECT_EQ(m_depth_formula(5, 16, 19), 16u + 3 * 19u);
+}
+
+TEST(DepthFormulas, BitonicDepth) {
+  EXPECT_EQ(bitonic_depth_formula(1), 1u);
+  EXPECT_EQ(bitonic_depth_formula(4), 10u);
+  EXPECT_EQ(bitonic_depth_formula(10), 55u);
+}
+
+TEST(DepthFormulas, Proposition1RecurrenceConsistency) {
+  // depth(C_n) = depth(C_{n-1}) + depth(M_n) with depth(M_n) = d + (n-2)s
+  // (Props 1 and 3 must agree).
+  for (std::size_t d : {1u, 5u, 16u}) {
+    for (std::size_t s : {3u, 7u, 19u}) {
+      for (std::size_t n = 3; n <= 12; ++n) {
+        EXPECT_EQ(c_depth_formula(n, d, s),
+                  c_depth_formula(n - 1, d, s) + m_depth_formula(n, d, s));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scn

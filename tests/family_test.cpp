@@ -1,0 +1,108 @@
+// The factorization family (§1, §6): one network per factorization, the
+// depth / balancer-width trade-off, and the convenience constructors.
+#include <gtest/gtest.h>
+
+#include "core/factorization.h"
+#include "core/family.h"
+#include "verify/counting_verify.h"
+
+namespace scn {
+namespace {
+
+TEST(Family, EnumeratesOneMemberPerFactorization) {
+  const auto members = enumerate_family(24, NetworkKind::kK);
+  EXPECT_EQ(members.size(), all_factorizations(24).size());
+  for (const auto& m : members) {
+    EXPECT_EQ(m.network.width(), 24u);
+    EXPECT_EQ(m.network.validate(), "");
+  }
+}
+
+TEST(Family, KMembersMeetFormulaAndBound) {
+  for (const auto& m : enumerate_family(36, NetworkKind::kK)) {
+    EXPECT_EQ(m.network.depth(), k_depth_formula(m.factors.size()))
+        << m.label();
+    EXPECT_LE(m.network.max_gate_width(), m.width_bound) << m.label();
+    EXPECT_EQ(m.width_bound, max_pair_product(m.factors));
+  }
+}
+
+TEST(Family, LMembersMeetBoundAndWidth) {
+  for (const auto& m : enumerate_family(24, NetworkKind::kL)) {
+    EXPECT_LE(m.network.depth(), m.formula_depth) << m.label();
+    EXPECT_LE(m.network.max_gate_width(),
+              std::max<std::size_t>(2, m.width_bound))
+        << m.label();
+  }
+}
+
+TEST(Family, TradeOffIsMonotoneAtTheExtremes) {
+  // The trivial factorization {w} gives depth 1 and a w-wide balancer; the
+  // all-prime factorization gives the deepest network with the narrowest
+  // balancers. Intermediate members interpolate.
+  const auto members = enumerate_family(64, NetworkKind::kK);
+  const FamilyMember* trivial = nullptr;
+  const FamilyMember* finest = nullptr;
+  for (const auto& m : members) {
+    if (m.factors.size() == 1) trivial = &m;
+    if (m.factors.size() == 6) finest = &m;  // 2^6
+  }
+  ASSERT_NE(trivial, nullptr);
+  ASSERT_NE(finest, nullptr);
+  EXPECT_EQ(trivial->network.depth(), 1u);
+  EXPECT_EQ(trivial->network.max_gate_width(), 64u);
+  EXPECT_EQ(finest->network.depth(), k_depth_formula(6));
+  EXPECT_EQ(finest->network.max_gate_width(), 4u);  // max p_i p_j = 4
+}
+
+TEST(Family, AllMembersOfWidth12Count) {
+  for (const NetworkKind kind : {NetworkKind::kK, NetworkKind::kL}) {
+    for (const auto& m : enumerate_family(12, kind)) {
+      CountingVerifyOptions opts;
+      opts.random_per_total = 3;
+      EXPECT_TRUE(verify_counting(m.network, opts).ok) << m.label();
+    }
+  }
+}
+
+TEST(Family, MakeNetworkForWidthRespectsFeasibleCaps) {
+  // L is feasible whenever the cap covers the largest prime factor; K needs
+  // the cap to cover some pair product.
+  for (const std::size_t w : {24u, 60u, 128u}) {
+    const auto primes = prime_factorization(w);
+    const std::size_t max_prime = primes.back();
+    for (const std::size_t cap : {4u, 8u, 16u}) {
+      if (cap >= max_prime) {
+        const Network l = make_network_for_width(w, cap, NetworkKind::kL);
+        EXPECT_EQ(l.width(), w);
+        EXPECT_LE(l.max_gate_width(), cap) << "L w=" << w << " cap=" << cap;
+      }
+      if (cap >= max_prime * 2 || cap >= w) {
+        const Network k = make_network_for_width(w, cap, NetworkKind::kK);
+        EXPECT_EQ(k.width(), w);
+        EXPECT_LE(k.max_gate_width(), cap) << "K w=" << w << " cap=" << cap;
+      }
+    }
+  }
+}
+
+TEST(Family, MakeNetworkForWidthFallsBackWhenInfeasible) {
+  // w = 2 * 31: no balancer cap below 31 is achievable; the builder must
+  // still return a width-62 network minimizing the bound (factors {2, 31}).
+  const Network l = make_network_for_width(62, 4, NetworkKind::kL);
+  EXPECT_EQ(l.width(), 62u);
+  EXPECT_LE(l.max_gate_width(), 31u);
+  const Network k = make_network_for_width(62, 4, NetworkKind::kK);
+  EXPECT_EQ(k.width(), 62u);
+  EXPECT_LE(k.max_gate_width(), 62u);
+}
+
+TEST(Family, Labels) {
+  const auto m = make_family_member(std::vector<std::size_t>{2, 3},
+                                    NetworkKind::kK);
+  EXPECT_EQ(m.label(), "K(2x3)");
+  EXPECT_STREQ(to_string(NetworkKind::kL), "L");
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,72 @@
+// Bit-sliced 0-1 verifier: agrees with the scalar verifier everywhere, and
+// unlocks exhaustive proofs at widths the scalar path cannot reach cheaply.
+#include <gtest/gtest.h>
+
+#include "baseline/batcher.h"
+#include "baseline/bubble.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "sim/comparator_sim.h"
+#include "verify/fast_zero_one.h"
+
+namespace scn {
+namespace {
+
+void expect_agreement(const Network& net) {
+  const SortingVerdict slow = verify_sorting_exhaustive(net);
+  const SortingVerdict fast = fast_verify_sorting_exhaustive(net);
+  EXPECT_EQ(slow.ok, fast.ok);
+  EXPECT_EQ(fast.inputs_checked, std::uint64_t{1} << net.width());
+  if (!fast.ok) {
+    // The fast counterexample must really fail under scalar evaluation.
+    const auto out = comparator_output_counts(net, fast.counterexample);
+    EXPECT_FALSE(is_sorted_descending(out));
+  }
+}
+
+TEST(FastZeroOne, AgreesOnSortingNetworks) {
+  expect_agreement(make_k_network({2, 3, 2}));
+  expect_agreement(make_l_network({3, 2, 2}));
+  expect_agreement(make_batcher_network(11));
+  expect_agreement(make_bubble_network(7));
+}
+
+TEST(FastZeroOne, AgreesOnBrokenNetworks) {
+  // Identity and half-finished networks must be rejected with a valid
+  // witness.
+  expect_agreement(NetworkBuilder(5).finish_identity());
+  NetworkBuilder b(6);
+  b.add_balancer({0, 1});
+  b.add_balancer({2, 3});
+  expect_agreement(std::move(b).finish_identity());
+}
+
+TEST(FastZeroOne, WideGateNetworks) {
+  // Exercise the bit-sliced popcount near its plane capacity.
+  expect_agreement(make_k_network({4, 4}));      // 16-wide gate
+  expect_agreement(make_k_network({16}));        // single 16-balancer
+}
+
+TEST(FastZeroOne, ExhaustiveProofsAtWidth18) {
+  // 2^18 = 262k vectors per network — cheap with bit-slicing.
+  EXPECT_TRUE(fast_verify_sorting_exhaustive(make_k_network({3, 3, 2})).ok);
+  EXPECT_TRUE(fast_verify_sorting_exhaustive(make_l_network({3, 3, 2})).ok);
+  EXPECT_TRUE(fast_verify_sorting_exhaustive(make_r_network(3, 6)).ok);
+}
+
+TEST(FastZeroOne, ExhaustiveProofsAtWidth20) {
+  EXPECT_TRUE(fast_verify_sorting_exhaustive(make_k_network({5, 2, 2})).ok);
+  EXPECT_TRUE(fast_verify_sorting_exhaustive(make_r_network(4, 5)).ok);
+  EXPECT_TRUE(fast_verify_sorting_exhaustive(make_batcher_network(20)).ok);
+}
+
+TEST(FastZeroOne, PartialChunkWidthsBelowSix) {
+  // w < 6 exercises the valid-mask path (total < 64).
+  expect_agreement(make_k_network({2, 2}));
+  expect_agreement(make_bubble_network(3));
+  expect_agreement(make_bubble_network(5));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,114 @@
+// Fetch&Increment counters: uniqueness and contiguity of handed-out values
+// under real concurrency, for all three implementations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "count/fetch_inc.h"
+
+namespace scn {
+namespace {
+
+/// Runs `threads` threads each performing `per_thread` increments; returns
+/// all values collected.
+std::vector<std::uint64_t> hammer(FetchIncCounter& counter,
+                                  std::size_t threads,
+                                  std::size_t per_thread) {
+  std::vector<std::vector<std::uint64_t>> buckets(threads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      buckets[t].reserve(per_thread);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        buckets[t].push_back(counter.next());
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& b : buckets) all.insert(all.end(), b.begin(), b.end());
+  return all;
+}
+
+void expect_contiguous_permutation(std::vector<std::uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(values[i], i) << "hole or duplicate at " << i;
+  }
+}
+
+TEST(AtomicCounter, SequentialValues) {
+  AtomicCounter c;
+  EXPECT_EQ(c.next(), 0u);
+  EXPECT_EQ(c.next(), 1u);
+  EXPECT_STREQ(c.name(), "atomic");
+}
+
+TEST(AtomicCounter, ConcurrentPermutation) {
+  AtomicCounter c;
+  expect_contiguous_permutation(hammer(c, 8, 5000));
+}
+
+TEST(MutexCounter, ConcurrentPermutation) {
+  MutexCounter c;
+  expect_contiguous_permutation(hammer(c, 8, 3000));
+  EXPECT_STREQ(c.name(), "mutex");
+}
+
+TEST(NetworkCounter, SingleThreadSequential) {
+  const Network net = make_k_network({2, 2});
+  NetworkCounter c(net);
+  // Sequential single-thread use must hand out 0..N-1 (order may vary by
+  // wire, but each prefix is a permutation once quiescent — with one thread
+  // every step is quiescent).
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 64; ++i) vals.push_back(c.next());
+  expect_contiguous_permutation(std::move(vals));
+}
+
+TEST(NetworkCounter, ConcurrentPermutationOnK) {
+  const Network net = make_k_network({2, 2, 2, 2});
+  NetworkCounter c(net);
+  expect_contiguous_permutation(hammer(c, 8, 4000));
+}
+
+TEST(NetworkCounter, ConcurrentPermutationOnL) {
+  const Network net = make_l_network({3, 2, 2});
+  NetworkCounter c(net);
+  expect_contiguous_permutation(hammer(c, 6, 3000));
+}
+
+TEST(NetworkCounter, ConcurrentPermutationOnWideBalancers) {
+  const Network net = make_k_network({8, 8});
+  NetworkCounter c(net);
+  expect_contiguous_permutation(hammer(c, 8, 4000));
+}
+
+TEST(NetworkCounter, ThreadCountExceedsWidth) {
+  const Network net = make_k_network({2, 2});
+  NetworkCounter c(net);
+  expect_contiguous_permutation(hammer(c, 16, 1000));
+}
+
+TEST(FetchInc, PolymorphicUse) {
+  const Network net = make_k_network({4, 4});
+  std::vector<std::unique_ptr<FetchIncCounter>> counters;
+  counters.push_back(std::make_unique<AtomicCounter>());
+  counters.push_back(std::make_unique<MutexCounter>());
+  counters.push_back(std::make_unique<NetworkCounter>(net));
+  for (auto& c : counters) {
+    expect_contiguous_permutation(hammer(*c, 4, 1000));
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,139 @@
+// Randomized fuzzing over the construction space: random widths, random
+// factorizations, random variants — every built network must validate,
+// meet its bounds, and count on random + structured loads. Seeded, so
+// failures reproduce.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/counting_network.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "sim/count_sim.h"
+#include "verify/counting_verify.h"
+
+namespace scn {
+namespace {
+
+std::vector<std::size_t> random_factorization(std::mt19937_64& rng,
+                                              std::size_t max_width) {
+  std::uniform_int_distribution<std::size_t> nf(1, 4);
+  std::uniform_int_distribution<std::size_t> fac(2, 6);
+  std::vector<std::size_t> out;
+  std::size_t w = 1;
+  const std::size_t n = nf(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t f = fac(rng);
+    if (w * f > max_width) break;
+    out.push_back(f);
+    w *= f;
+  }
+  if (out.empty()) out.push_back(fac(rng));
+  return out;
+}
+
+TEST(Fuzz, RandomKNetworks) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int t = 0; t < 60; ++t) {
+    const auto factors = random_factorization(rng, 200);
+    const Network net = make_k_network(factors);
+    ASSERT_EQ(net.validate(), "") << format_factors(factors);
+    ASSERT_EQ(net.depth(), k_depth_formula(factors.size()))
+        << format_factors(factors);
+    CountingVerifyOptions opts;
+    opts.max_total = static_cast<Count>(2 * net.width() + 3);
+    opts.random_per_total = 2;
+    opts.seed = static_cast<std::uint64_t>(t);
+    const auto v = verify_counting(net, opts);
+    ASSERT_TRUE(v.ok) << format_factors(factors) << " bad input "
+                      << ::testing::PrintToString(v.counterexample);
+  }
+}
+
+TEST(Fuzz, RandomLNetworks) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int t = 0; t < 35; ++t) {
+    const auto factors = random_factorization(rng, 150);
+    const Network net = make_l_network(factors);
+    ASSERT_EQ(net.validate(), "") << format_factors(factors);
+    ASSERT_LE(net.depth(), l_depth_bound(factors.size()))
+        << format_factors(factors);
+    ASSERT_LE(net.max_gate_width(),
+              std::max<std::size_t>(2, max_factor(factors)))
+        << format_factors(factors);
+    CountingVerifyOptions opts;
+    opts.max_total = static_cast<Count>(2 * net.width() + 3);
+    opts.random_per_total = 2;
+    opts.seed = static_cast<std::uint64_t>(t);
+    ASSERT_TRUE(verify_counting(net, opts).ok) << format_factors(factors);
+  }
+}
+
+TEST(Fuzz, RandomRNetworks) {
+  std::mt19937_64 rng(0xDead);
+  std::uniform_int_distribution<std::size_t> pq(2, 14);
+  for (int t = 0; t < 40; ++t) {
+    const std::size_t p = pq(rng), q = pq(rng);
+    const Network net = make_r_network(p, q);
+    ASSERT_EQ(net.validate(), "") << p << "," << q;
+    ASSERT_LE(net.depth(), kRDepthBound);
+    ASSERT_LE(net.max_gate_width(), std::max(p, q));
+    CountingVerifyOptions opts;
+    opts.max_total = static_cast<Count>(p * q + 9);
+    opts.random_per_total = 2;
+    opts.seed = static_cast<std::uint64_t>(t);
+    ASSERT_TRUE(verify_counting(net, opts).ok) << p << "," << q;
+  }
+}
+
+TEST(Fuzz, RandomVariantMixes) {
+  std::mt19937_64 rng(0xF00D);
+  constexpr StaircaseVariant kVariants[] = {
+      StaircaseVariant::kTwoMerger, StaircaseVariant::kTwoMergerCapped,
+      StaircaseVariant::kRebalanceCount,
+      StaircaseVariant::kRebalanceBitonic};
+  for (int t = 0; t < 30; ++t) {
+    auto factors = random_factorization(rng, 100);
+    if (factors.size() < 2) factors.push_back(2);
+    const auto variant = kVariants[static_cast<std::size_t>(t) % 4];
+    const Network net =
+        make_counting_network(factors, single_balancer_base(), variant);
+    ASSERT_EQ(net.validate(), "")
+        << format_factors(factors) << " " << to_string(variant);
+    CountingVerifyOptions opts;
+    opts.max_total = static_cast<Count>(2 * net.width() + 3);
+    opts.random_per_total = 2;
+    opts.seed = static_cast<std::uint64_t>(t);
+    ASSERT_TRUE(verify_counting(net, opts).ok)
+        << format_factors(factors) << " " << to_string(variant);
+  }
+}
+
+TEST(Fuzz, LargeWidthSmokeChecks) {
+  // Build-and-light-check at widths well beyond the exhaustive range.
+  for (const auto& factors :
+       {std::vector<std::size_t>{7, 6, 5, 4, 3},     // 2520
+        std::vector<std::size_t>{10, 9, 8, 7},       // 5040
+        std::vector<std::size_t>{16, 16, 16}}) {     // 4096
+    const Network net = make_k_network(factors);
+    ASSERT_EQ(net.validate(), "") << format_factors(factors);
+    ASSERT_EQ(net.depth(), k_depth_formula(factors.size()));
+    // Spot counting checks (full sweep would be slow at this width).
+    std::mt19937_64 rng(99);
+    for (const Count total :
+         {Count{0}, Count{1}, static_cast<Count>(net.width() - 1),
+          static_cast<Count>(net.width() + 1),
+          static_cast<Count>(3 * net.width() + 17)}) {
+      std::vector<Count> in(net.width(), 0);
+      std::uniform_int_distribution<std::size_t> wire(0, net.width() - 1);
+      for (Count i = 0; i < total; ++i) in[wire(rng)] += 1;
+      ASSERT_TRUE(counts_to_step(net, in))
+          << format_factors(factors) << " total " << total;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,109 @@
+// Workload generators: every generated object satisfies the property it
+// advertises, deterministically under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "seq/generators.h"
+
+namespace scn {
+namespace {
+
+TEST(Generators, RandomStepSequencesAreStep) {
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const auto x = random_step_sequence(rng, 9, 40);
+    EXPECT_TRUE(has_step_property(x));
+  }
+}
+
+TEST(Generators, RandomBitonicSequencesAreBitonic) {
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 500; ++t) {
+    const auto x = random_bitonic_sequence(rng, 11, 3);
+    EXPECT_TRUE(has_bitonic_property(x));
+    for (const Count v : x) {
+      EXPECT_GE(v, 3);
+      EXPECT_LE(v, 4);
+    }
+  }
+}
+
+TEST(Generators, BitonicGeneratorCoversBothOrientations) {
+  std::mt19937_64 rng(3);
+  bool saw_peak = false, saw_valley = false;
+  for (int t = 0; t < 300 && !(saw_peak && saw_valley); ++t) {
+    const auto x = random_bitonic_sequence(rng, 8, 0);
+    if (transition_count(x) == 2) {
+      (x.front() == 0 ? saw_peak : saw_valley) = true;
+    }
+  }
+  EXPECT_TRUE(saw_peak);
+  EXPECT_TRUE(saw_valley);
+}
+
+TEST(Generators, StaircaseFamiliesSatisfyBothProperties) {
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 100; ++t) {
+    const auto xs = random_staircase_family(rng, 4, 10, 3, 60);
+    ASSERT_EQ(xs.size(), 4u);
+    EXPECT_TRUE(has_staircase_property(xs, 3));
+    for (const auto& x : xs) {
+      EXPECT_EQ(x.size(), 10u);
+      EXPECT_TRUE(has_step_property(x));
+    }
+  }
+}
+
+TEST(Generators, RandomCountVectorPreservesTotal) {
+  std::mt19937_64 rng(5);
+  for (Count total : {Count{0}, Count{1}, Count{17}, Count{100}}) {
+    const auto v = random_count_vector(rng, 6, total);
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), Count{0}), total);
+    for (const Count c : v) EXPECT_GE(c, 0);
+  }
+}
+
+TEST(Generators, StructuredVectorsPreserveTotalAndCoverShapes) {
+  const auto vs = structured_count_vectors(7, 23);
+  EXPECT_GE(vs.size(), 6u);
+  for (const auto& v : vs) {
+    EXPECT_EQ(v.size(), 7u);
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), Count{0}), 23);
+  }
+  // The all-on-one-wire shape must be present.
+  bool found_spike = false;
+  for (const auto& v : vs) {
+    if (std::count(v.begin(), v.end(), 23) == 1 &&
+        std::count(v.begin(), v.end(), 0) == 6) {
+      found_spike = true;
+    }
+  }
+  EXPECT_TRUE(found_spike);
+}
+
+TEST(Generators, PermutationsArePermutations) {
+  std::mt19937_64 rng(6);
+  for (int t = 0; t < 50; ++t) {
+    auto p = random_permutation(rng, 13);
+    std::sort(p.begin(), p.end());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_EQ(p[i], static_cast<Count>(i));
+    }
+  }
+}
+
+TEST(Generators, Determinism) {
+  std::mt19937_64 a(99), b(99);
+  EXPECT_EQ(random_step_sequence(a, 8, 30), random_step_sequence(b, 8, 30));
+  EXPECT_EQ(random_count_vector(a, 8, 30), random_count_vector(b, 8, 30));
+  EXPECT_EQ(random_permutation(a, 8), random_permutation(b, 8));
+}
+
+TEST(Generators, BinaryVectorBits) {
+  const auto v = binary_vector(5, 0b10110);
+  EXPECT_EQ(v, (std::vector<Count>{0, 1, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,78 @@
+// Golden regression tests for the figure renderers: small canonical
+// networks must render exactly the recorded diagrams. Catches accidental
+// changes to gate ordering, layering or the output permutation.
+#include <gtest/gtest.h>
+
+#include "baseline/bitonic.h"
+#include "core/k_network.h"
+#include "core/two_merger.h"
+#include "net/export.h"
+#include "net/serialize.h"
+
+namespace scn {
+namespace {
+
+TEST(Golden, K22SerializedForm) {
+  EXPECT_EQ(serialize_network(make_k_network({2, 2})),
+            "scnet 1\n"
+            "width 4\n"
+            "gate 0 1 2 3\n"
+            "output 0 1 2 3\n");
+}
+
+TEST(Golden, Bitonic4SerializedForm) {
+  // Bitonic[4]: two 2-balancers, merger of (even-with-odd) pairs, final
+  // exchange layer.
+  EXPECT_EQ(serialize_network(make_bitonic_network(2)),
+            "scnet 1\n"
+            "width 4\n"
+            "gate 0 1\n"
+            "gate 2 3\n"
+            "gate 0 3\n"
+            "gate 1 2\n"
+            "gate 0 1\n"
+            "gate 3 2\n"
+            "output 0 1 3 2\n");
+}
+
+TEST(Golden, TwoMerger222SerializedForm) {
+  // T(2,2,2): X0 = wires 0..3 column-major, X1 = wires 4..7 reverse
+  // column-major; 4-wide rows then 2-wide columns.
+  EXPECT_EQ(serialize_network(make_two_merger_network(2, 2, 2)),
+            "scnet 1\n"
+            "width 8\n"
+            "gate 0 2 7 5\n"
+            "gate 1 3 6 4\n"
+            "gate 0 1\n"
+            "gate 2 3\n"
+            "gate 7 6\n"
+            "gate 5 4\n"
+            "output 0 1 2 3 7 6 5 4\n");
+}
+
+TEST(Golden, K22Ascii) {
+  EXPECT_EQ(to_ascii(make_k_network({2, 2})),
+            " 0 --+---  y0\n"
+            " 1 --+---  y1\n"
+            " 2 --+---  y2\n"
+            " 3 --+---  y3\n");
+}
+
+TEST(Golden, Bitonic2Ascii) {
+  EXPECT_EQ(to_ascii(make_bitonic_network(1)),
+            " 0 --+---  y0\n"
+            " 1 --+---  y1\n");
+}
+
+TEST(Golden, K22DotContainsCanonicalEdges) {
+  const std::string dot = to_dot(make_k_network({2, 2}), "g");
+  // Single gate g0 fed by all four inputs and feeding all four outputs.
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_NE(dot.find("in" + std::to_string(w) + " -> g0"),
+              std::string::npos);
+    EXPECT_NE(dot.find("g0 -> out" + std::to_string(w)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace scn

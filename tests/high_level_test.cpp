@@ -1,0 +1,111 @@
+// The high-level Sorter / Counter API and the umbrella header.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "scnet.h"
+
+namespace scn {
+namespace {
+
+TEST(Sorter, SortsArbitraryWidths) {
+  std::mt19937_64 rng(1);
+  for (const std::size_t w : {4u, 7u, 12u, 30u, 60u, 97u, 128u}) {
+    const Sorter sorter(w);
+    EXPECT_EQ(sorter.width(), w);
+    auto vals = random_values(rng, w, -50, 50);
+    auto expected = vals;
+    std::sort(expected.begin(), expected.end());
+    sorter.sort(vals);
+    EXPECT_EQ(vals, expected) << "width " << w;
+  }
+}
+
+TEST(Sorter, RespectsComparatorBudgetWhenFeasible) {
+  const Sorter sorter(64, Sorter::Options{.max_comparator = 4});
+  EXPECT_LE(sorter.network().max_gate_width(), 4u);
+  const Sorter wide(64, Sorter::Options{.max_comparator = 64});
+  EXPECT_LE(wide.network().max_gate_width(), 64u);
+}
+
+TEST(Sorter, PrimeWidthFallsBackGracefully) {
+  // 31 is prime: no balancer cap below 31 exists; sorting must still work.
+  const Sorter sorter(31, Sorter::Options{.max_comparator = 4});
+  std::mt19937_64 rng(2);
+  auto vals = random_permutation(rng, 31);
+  sorter.sort(vals);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(vals[i], static_cast<Count>(i));
+  }
+}
+
+TEST(Sorter, SortedCopyLeavesInputIntact) {
+  const Sorter sorter(8);
+  const std::vector<Count> vals = {5, 3, 8, 1, 9, 2, 7, 4};
+  const auto out = sorter.sorted(vals);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(vals[0], 5);  // untouched
+}
+
+TEST(Sorter, DuplicateHeavyInputs) {
+  const Sorter sorter(24);
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 30; ++t) {
+    auto vals = random_values(rng, 24, 0, 3);
+    auto expected = vals;
+    std::sort(expected.begin(), expected.end());
+    sorter.sort(vals);
+    EXPECT_EQ(vals, expected);
+  }
+}
+
+TEST(Counter, SequentialContiguity) {
+  Counter counter(Counter::Options{.width = 8, .max_balancer = 2});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(counter.next(), i);
+  }
+}
+
+TEST(Counter, NetworkRespectsBalancerCap) {
+  Counter counter(Counter::Options{.width = 16, .max_balancer = 4});
+  EXPECT_LE(counter.network().max_gate_width(), 4u);
+  EXPECT_EQ(counter.network().width(), 16u);
+}
+
+TEST(Counter, ConcurrentPermutation) {
+  Counter counter(Counter::Options{.width = 16, .max_balancer = 4});
+  constexpr std::size_t kThreads = 6, kPer = 2000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < kPer; ++i) {
+        got[t].push_back(counter.next());
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  std::vector<std::uint64_t> all;
+  for (auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+}
+
+TEST(UmbrellaHeader, ExposesEverything) {
+  // Spot-instantiate one symbol from each subsystem via scnet.h only.
+  const Network k = make_k_network({2, 2});
+  EXPECT_TRUE(verify_counting(k).ok);
+  EXPECT_EQ(bitonic_depth_formula(3), 6u);
+  EXPECT_FALSE(to_dot(k).empty());
+  EXPECT_TRUE(parse_network(serialize_network(k)).network.has_value());
+  EXPECT_GT(estimate_contention(k).hops_per_token, 0.0);
+  EXPECT_LE(probe_smoothing_exhaustive(k, 1).worst_spread, 1);
+}
+
+}  // namespace
+}  // namespace scn

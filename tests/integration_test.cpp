@@ -1,0 +1,120 @@
+// Cross-module integration: the paper's Figure 2 isomorphism on one
+// topology, end-to-end sorting of real data through counting networks, and
+// agreement among all three execution engines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "seq/generators.h"
+#include "sim/comparator_sim.h"
+#include "sim/concurrent_sim.h"
+#include "sim/count_sim.h"
+#include "sim/token_sim.h"
+#include "verify/checkers.h"
+#include "verify/sorting_verify.h"
+
+namespace scn {
+namespace {
+
+TEST(Isomorphism, SameTopologySortsAndCounts) {
+  // Figure 2: a width-30 network from factors {2, 3, 5} used both ways.
+  const Network net = make_l_network({2, 3, 5});
+  ASSERT_EQ(net.width(), 30u);
+
+  // As a counting network: random token loads produce the step output.
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 20; ++t) {
+    const auto in = random_count_vector(rng, 30, 45 + t);
+    EXPECT_TRUE(is_exact_step_output(output_counts(net, in)));
+  }
+
+  // As a sorting network: permutations come out descending.
+  for (int t = 0; t < 20; ++t) {
+    const auto vals = random_permutation(rng, 30);
+    EXPECT_TRUE(is_sorted_descending(comparator_output_counts(net, vals)));
+  }
+}
+
+TEST(Isomorphism, MixedBalancerSizesMatchFigureSpirit) {
+  // Figure 2's example uses balancers of widths 2, 3 and 5 — so does
+  // L(2, 3, 5).
+  const Network net = make_l_network({2, 3, 5});
+  const auto hist = net.gate_width_histogram();
+  EXPECT_GT(hist[2], 0u);
+  EXPECT_GT(hist[3], 0u);
+  EXPECT_GT(hist[5], 0u);
+  EXPECT_EQ(net.max_gate_width(), 5u);
+}
+
+TEST(EndToEnd, SortRecordsByKey) {
+  struct Record {
+    Count key;
+    std::string payload;
+  };
+  const Network net = make_k_network({3, 2, 2});
+  std::vector<Record> records;
+  std::mt19937_64 rng(5);
+  const auto keys = random_permutation(rng, 12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    records.push_back({keys[i], "rec" + std::to_string(keys[i])});
+  }
+  const auto sorted = comparator_output<Record>(
+      net, records,
+      [](const Record& a, const Record& b) { return a.key > b.key; });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].key, static_cast<Count>(11 - i));
+    EXPECT_EQ(sorted[i].payload, "rec" + std::to_string(11 - i));
+  }
+}
+
+TEST(Engines, CountPropagationTokenSimAndThreadsAgree) {
+  const Network net = make_l_network({2, 2, 3});
+  std::mt19937_64 rng(9);
+  const auto in = random_count_vector(rng, net.width(), 120);
+
+  const auto expected = output_counts(net, in);
+
+  const auto tokens =
+      run_token_simulation(net, in, SchedulePolicy::kRandom, 4);
+  EXPECT_EQ(tokens.outputs, expected);
+
+  ConcurrentNetwork cn(net);
+  for (std::size_t w = 0; w < in.size(); ++w) {
+    for (Count t = 0; t < in[w]; ++t) cn.traverse(static_cast<Wire>(w));
+  }
+  EXPECT_EQ(cn.output_counts(), expected);
+}
+
+TEST(ZeroOne, MonotoneImageMetamorphic) {
+  // 0-1 principle mechanics: applying a monotone map to the input and
+  // sorting commutes with sorting then mapping.
+  const Network net = make_k_network({2, 2, 2});
+  std::mt19937_64 rng(11);
+  auto monotone = [](Count v) { return 3 * v + 1; };
+  for (int t = 0; t < 50; ++t) {
+    const auto vals = random_values(rng, 8, 0, 9);
+    std::vector<Count> mapped(vals.size());
+    std::transform(vals.begin(), vals.end(), mapped.begin(), monotone);
+    auto out_then_map = comparator_output_counts(net, vals);
+    std::transform(out_then_map.begin(), out_then_map.end(),
+                   out_then_map.begin(), monotone);
+    const auto map_then_out = comparator_output_counts(net, mapped);
+    EXPECT_EQ(out_then_map, map_then_out);
+  }
+}
+
+TEST(Depth, FamilyComparisonAtWidth64) {
+  // §6: the bitonic network (depth k(k+1)/2 = 21 at w = 64) is a constant
+  // factor shallower than K(2^6) (depth 35) but needs 2-balancers only;
+  // K(8, 8) reaches depth 1... the family spans the whole range.
+  EXPECT_EQ(make_k_network({2, 2, 2, 2, 2, 2}).depth(), 35u);
+  EXPECT_EQ(make_k_network({8, 8}).depth(), 1u);
+  EXPECT_EQ(make_k_network({4, 4, 4}).depth(), 5u);
+}
+
+}  // namespace
+}  // namespace scn

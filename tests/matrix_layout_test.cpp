@@ -1,0 +1,102 @@
+// The four matrix arrangements of §3.1: cell maps, inverses, and the
+// MatrixView utility.
+#include <gtest/gtest.h>
+
+#include "seq/matrix_layout.h"
+#include "seq/sequence_props.h"
+
+namespace scn {
+namespace {
+
+constexpr Layout kAll[] = {Layout::kRowMajor, Layout::kReverseRowMajor,
+                           Layout::kColumnMajor, Layout::kReverseColumnMajor};
+
+TEST(Layout, MatchesPaperTable) {
+  // r = 2, c = 3, i = 4: the paper's table gives
+  //   row major          -> (1, 1)
+  //   reverse row major  -> (0, 1)
+  //   column major       -> (0, 2)
+  //   reverse col major  -> (1, 0)
+  EXPECT_EQ(layout_cell(Layout::kRowMajor, 2, 3, 4), (Cell{1, 1}));
+  EXPECT_EQ(layout_cell(Layout::kReverseRowMajor, 2, 3, 4), (Cell{0, 1}));
+  EXPECT_EQ(layout_cell(Layout::kColumnMajor, 2, 3, 4), (Cell{0, 2}));
+  EXPECT_EQ(layout_cell(Layout::kReverseColumnMajor, 2, 3, 4), (Cell{1, 0}));
+}
+
+TEST(Layout, CellAndIndexAreInverse) {
+  for (const Layout layout : kAll) {
+    for (std::size_t r = 1; r <= 5; ++r) {
+      for (std::size_t c = 1; c <= 5; ++c) {
+        for (std::size_t i = 0; i < r * c; ++i) {
+          const Cell cell = layout_cell(layout, r, c, i);
+          ASSERT_LT(cell.row, r);
+          ASSERT_LT(cell.col, c);
+          ASSERT_EQ(layout_index(layout, r, c, cell.row, cell.col), i);
+        }
+      }
+    }
+  }
+}
+
+TEST(Layout, EveryArrangementIsABijection) {
+  for (const Layout layout : kAll) {
+    std::vector<bool> hit(12, false);
+    for (std::size_t row = 0; row < 3; ++row) {
+      for (std::size_t col = 0; col < 4; ++col) {
+        const std::size_t i = layout_index(layout, 3, 4, row, col);
+        ASSERT_LT(i, 12u);
+        ASSERT_FALSE(hit[i]);
+        hit[i] = true;
+      }
+    }
+  }
+}
+
+TEST(Layout, ReverseIsPointReflection) {
+  // reverse row major = row major through the center, same for col major.
+  for (std::size_t r = 1; r <= 4; ++r) {
+    for (std::size_t c = 1; c <= 4; ++c) {
+      for (std::size_t i = 0; i < r * c; ++i) {
+        const Cell a = layout_cell(Layout::kRowMajor, r, c, i);
+        const Cell b = layout_cell(Layout::kReverseRowMajor, r, c, i);
+        EXPECT_EQ(b.row, r - a.row - 1);
+        EXPECT_EQ(b.col, c - a.col - 1);
+        const Cell d = layout_cell(Layout::kColumnMajor, r, c, i);
+        const Cell e = layout_cell(Layout::kReverseColumnMajor, r, c, i);
+        EXPECT_EQ(e.row, r - d.row - 1);
+        EXPECT_EQ(e.col, c - d.col - 1);
+      }
+    }
+  }
+}
+
+TEST(MatrixView, RowsAndColsOfColumnMajorStep) {
+  const std::vector<Count> x = step_sequence(12, 7);  // 1,1,1,1,1,1,1,0,...
+  const MatrixView<Count> m(x, 3, 4, Layout::kColumnMajor);
+  // Column j holds x[3j..3j+2].
+  EXPECT_EQ(m.col(0), (std::vector<Count>{x[0], x[1], x[2]}));
+  EXPECT_EQ(m.col(3), (std::vector<Count>{x[9], x[10], x[11]}));
+  // Row r is the stride-3 subsequence starting at r: step preserved.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(has_step_property(m.row(r)));
+  }
+}
+
+TEST(MatrixView, RoundTripThroughAnyLayoutPair) {
+  std::vector<int> x(20);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<int>(i);
+  for (const Layout in : kAll) {
+    const MatrixView<int> m(x, 4, 5, in);
+    // Reading back in the same layout returns the original sequence.
+    EXPECT_EQ(m.to_sequence(in), x);
+    // Reading in another layout is a permutation.
+    for (const Layout out : kAll) {
+      auto y = m.to_sequence(out);
+      std::sort(y.begin(), y.end());
+      EXPECT_EQ(y, x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scn

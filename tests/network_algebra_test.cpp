@@ -1,0 +1,102 @@
+// Algebraic laws of the network combinators, checked behaviorally: compose
+// is associative, relabel distributes over compose, serialization commutes
+// with everything, and the engines agree across transformed networks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "baseline/batcher.h"
+#include "core/k_network.h"
+#include "net/serialize.h"
+#include "net/transform.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+
+namespace scn {
+namespace {
+
+std::vector<Count> behavior(const Network& net, std::uint64_t seed) {
+  // Fingerprint: concatenated outputs for a deterministic input family.
+  std::mt19937_64 rng(seed);
+  std::vector<Count> fp;
+  for (int t = 0; t < 12; ++t) {
+    const auto in = random_count_vector(rng, net.width(), 10 + 7 * t);
+    const auto out = output_counts(net, in);
+    fp.insert(fp.end(), out.begin(), out.end());
+  }
+  return fp;
+}
+
+TEST(Algebra, ComposeIsBehaviorallyAssociative) {
+  const Network a = make_batcher_network(8);
+  const Network b = make_k_network({2, 2, 2});
+  const Network c = make_k_network({4, 2});
+  const Network left = compose(compose(a, b), c);
+  const Network right = compose(a, compose(b, c));
+  EXPECT_EQ(behavior(left, 5), behavior(right, 5));
+  EXPECT_EQ(left.gate_count(), right.gate_count());
+}
+
+TEST(Algebra, IdentityIsComposeNeutral) {
+  const Network id = NetworkBuilder(6).finish_identity();
+  const Network k = make_k_network({3, 2});
+  EXPECT_EQ(behavior(compose(id, k), 7), behavior(k, 7));
+  EXPECT_EQ(behavior(compose(k, id), 7), behavior(k, 7));
+}
+
+TEST(Algebra, RelabelByInverseIsIdentity) {
+  const Network k = make_k_network({2, 2, 2});
+  std::mt19937_64 rng(9);
+  std::vector<Wire> perm(k.width());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<Wire> inv(k.width());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<Wire>(i);
+  }
+  const Network back = relabel(relabel(k, perm), inv);
+  // Gate-for-gate identical to the original.
+  ASSERT_EQ(back.gate_count(), k.gate_count());
+  for (std::size_t g = 0; g < k.gate_count(); ++g) {
+    const auto wa = k.gate_wires(g);
+    const auto wb = back.gate_wires(g);
+    EXPECT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()));
+  }
+  EXPECT_TRUE(std::equal(back.output_order().begin(),
+                         back.output_order().end(),
+                         k.output_order().begin()));
+}
+
+TEST(Algebra, SerializationCommutesWithCompose) {
+  const Network a = make_k_network({2, 3});
+  const Network b = make_k_network({3, 2});
+  const Network ab = compose(a, b);
+  const auto round_trip = parse_network(serialize_network(ab));
+  ASSERT_TRUE(round_trip.network.has_value()) << round_trip.error;
+  EXPECT_EQ(behavior(*round_trip.network, 11), behavior(ab, 11));
+}
+
+TEST(Algebra, PrefixOfComposeEqualsFirstComponent) {
+  const Network a = make_k_network({2, 2, 2});
+  const Network b = make_k_network({2, 2, 2});
+  const Network ab = compose(a, b);
+  const Network pre = prefix_layers(ab, a.depth());
+  ASSERT_EQ(pre.gate_count(), a.gate_count());
+  for (std::size_t g = 0; g < a.gate_count(); ++g) {
+    const auto wa = a.gate_wires(g);
+    const auto wb = pre.gate_wires(g);
+    EXPECT_TRUE(std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()));
+  }
+}
+
+TEST(Algebra, DoubleCountingNetworkStillCountsAndFixesNothingNew) {
+  // Composing a counting network with itself: outputs unchanged beyond the
+  // first pass (the step sequence is a fixed point).
+  const Network k = make_k_network({2, 2, 2});
+  const Network kk = compose(k, k);
+  EXPECT_EQ(behavior(kk, 13), behavior(k, 13));
+}
+
+}  // namespace
+}  // namespace scn

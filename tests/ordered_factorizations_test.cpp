@@ -1,0 +1,90 @@
+// The paper's parenthetical family remark (§1): "Each distinct ordering of
+// a fixed set of factors also yields a different counting network, but all
+// such networks have the same depth." Verified exhaustively over all
+// permutations of several factor multisets, for both K and L.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "verify/counting_verify.h"
+
+namespace scn {
+namespace {
+
+using Factors = std::vector<std::size_t>;
+
+class OrderedFactorizations : public ::testing::TestWithParam<Factors> {};
+
+TEST_P(OrderedFactorizations, AllOrderingsOfKShareDepthAndAllCount) {
+  Factors f = GetParam();
+  std::sort(f.begin(), f.end());
+  const std::size_t expected_depth = k_depth_formula(f.size());
+  std::size_t orderings = 0;
+  do {
+    const Network net = make_k_network(f);
+    ASSERT_EQ(net.validate(), "") << format_factors(f);
+    ASSERT_EQ(net.depth(), expected_depth) << format_factors(f);
+    CountingVerifyOptions opts;
+    opts.max_total = static_cast<Count>(net.width() + 9);
+    opts.random_per_total = 2;
+    ASSERT_TRUE(verify_counting(net, opts).ok) << format_factors(f);
+    ++orderings;
+  } while (std::next_permutation(f.begin(), f.end()));
+  EXPECT_GE(orderings, 1u);
+}
+
+TEST_P(OrderedFactorizations, AllOrderingsOfLRespectBoundsAndCount) {
+  Factors f = GetParam();
+  std::sort(f.begin(), f.end());
+  const std::size_t bound = l_depth_bound(f.size());
+  const std::size_t width_cap = std::max<std::size_t>(2, max_factor(f));
+  do {
+    const Network net = make_l_network(f);
+    ASSERT_EQ(net.validate(), "") << format_factors(f);
+    ASSERT_LE(net.depth(), bound) << format_factors(f);
+    ASSERT_LE(net.max_gate_width(), width_cap) << format_factors(f);
+    CountingVerifyOptions opts;
+    opts.max_total = static_cast<Count>(net.width() + 9);
+    opts.random_per_total = 1;
+    ASSERT_TRUE(verify_counting(net, opts).ok) << format_factors(f);
+  } while (std::next_permutation(f.begin(), f.end()));
+}
+
+TEST_P(OrderedFactorizations, OrderingsDifferStructurally) {
+  // "yields a different counting network": distinct orderings produce
+  // structurally different gate lists (unless all factors equal).
+  Factors f = GetParam();
+  std::sort(f.begin(), f.end());
+  if (std::all_of(f.begin(), f.end(),
+                  [&](std::size_t x) { return x == f[0]; })) {
+    GTEST_SKIP() << "all factors equal: orderings coincide";
+  }
+  if (f.size() == 2) {
+    GTEST_SKIP() << "n == 2 is a single balancer for K: orderings coincide";
+  }
+  const Network first = make_k_network(f);
+  Factors g = f;
+  std::next_permutation(g.begin(), g.end());
+  const Network second = make_k_network(g);
+  bool different = first.gate_count() != second.gate_count();
+  if (!different) {
+    for (std::size_t i = 0; i < first.gate_count() && !different; ++i) {
+      const auto wa = first.gate_wires(i);
+      const auto wb = second.gate_wires(i);
+      different = !std::equal(wa.begin(), wa.end(), wb.begin(), wb.end());
+    }
+  }
+  EXPECT_TRUE(different) << format_factors(f) << " vs " << format_factors(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Multisets, OrderedFactorizations,
+                         ::testing::Values(Factors{2, 3}, Factors{2, 2, 3},
+                                           Factors{2, 3, 4}, Factors{2, 2, 2},
+                                           Factors{2, 2, 2, 3},
+                                           Factors{3, 3, 2}));
+
+}  // namespace
+}  // namespace scn

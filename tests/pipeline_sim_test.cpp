@@ -1,0 +1,96 @@
+// Synchronous pipelined execution: per-batch results match the plain
+// comparator simulator, and cycle accounting matches B + depth - 1.
+#include <gtest/gtest.h>
+
+#include "baseline/batcher.h"
+#include "core/k_network.h"
+#include "seq/generators.h"
+#include "sim/comparator_sim.h"
+#include "sim/pipeline_sim.h"
+
+namespace scn {
+namespace {
+
+TEST(Pipeline, StagesEqualDepth) {
+  const Network net = make_k_network({2, 2, 2});
+  const PipelineSimulator pipe(net);
+  EXPECT_EQ(pipe.stages(), net.depth());
+}
+
+TEST(Pipeline, RunOneMatchesComparatorSim) {
+  const Network net = make_k_network({3, 2, 2});
+  const PipelineSimulator pipe(net);
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 50; ++t) {
+    const auto vals = random_values(rng, net.width(), 0, 30);
+    EXPECT_EQ(pipe.run_one(vals), comparator_output_counts(net, vals));
+  }
+}
+
+TEST(Pipeline, BatchResultsMatchAndStayInOrder) {
+  const Network net = make_batcher_network(8);
+  const PipelineSimulator pipe(net);
+  std::mt19937_64 rng(2);
+  std::vector<std::vector<Count>> batches;
+  for (int b = 0; b < 17; ++b) batches.push_back(random_permutation(rng, 8));
+  const auto result = pipe.run_batches(batches);
+  ASSERT_EQ(result.outputs.size(), batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    EXPECT_EQ(result.outputs[b], comparator_output_counts(net, batches[b]))
+        << "batch " << b;
+  }
+}
+
+TEST(Pipeline, CycleCountIsBatchesPlusDepthMinusOne) {
+  const Network net = make_k_network({2, 2, 2});  // depth 5
+  const PipelineSimulator pipe(net);
+  std::mt19937_64 rng(3);
+  for (const std::size_t b : {1u, 2u, 5u, 20u}) {
+    std::vector<std::vector<Count>> batches;
+    for (std::size_t i = 0; i < b; ++i) {
+      batches.push_back(random_permutation(rng, 8));
+    }
+    const auto result = pipe.run_batches(batches);
+    EXPECT_EQ(result.cycles, b + net.depth() - 1) << b << " batches";
+  }
+}
+
+TEST(Pipeline, ThroughputIndependentOfDepthInSteadyState) {
+  // Amortized cycles/batch -> 1 for both a shallow and a deep network.
+  std::mt19937_64 rng(4);
+  for (const auto& factors :
+       {std::vector<std::size_t>{4, 4}, {2, 2, 2, 2}}) {
+    const Network net = make_k_network(factors);
+    const PipelineSimulator pipe(net);
+    std::vector<std::vector<Count>> batches;
+    for (int i = 0; i < 100; ++i) {
+      batches.push_back(random_permutation(rng, net.width()));
+    }
+    const auto result = pipe.run_batches(batches);
+    EXPECT_EQ(result.cycles, 100 + net.depth() - 1);
+    const double per_batch =
+        static_cast<double>(result.cycles) / 100.0;
+    EXPECT_LT(per_batch, 1.4);
+  }
+}
+
+TEST(Pipeline, EmptyNetworkPassesThrough) {
+  const Network net = NetworkBuilder(3).finish_identity();
+  const PipelineSimulator pipe(net);
+  const std::vector<std::vector<Count>> batches = {{3, 1, 2}};
+  const auto result = pipe.run_batches(batches);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0], (std::vector<Count>{3, 1, 2}));
+  EXPECT_EQ(result.cycles, 1u);
+}
+
+TEST(Pipeline, NoBatches) {
+  const Network net = make_k_network({2, 2});
+  const PipelineSimulator pipe(net);
+  const auto result = pipe.run_batches({});
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_EQ(result.cycles, 0u);
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,57 @@
+// R(p, q) decomposition introspection: quadrant accounting and the
+// appendix inequalities as member predicates.
+#include <gtest/gtest.h>
+
+#include "core/r_decomposition.h"
+
+namespace scn {
+namespace {
+
+TEST(RDecomposition, QuadrantsTileTheMatrix) {
+  for (std::size_t p = 2; p <= 60; ++p) {
+    for (std::size_t q = 2; q <= 60; ++q) {
+      const RDecomposition d = r_decompose(p, q);
+      ASSERT_EQ(d.a_rows() + d.c_rows(), p);
+      ASSERT_EQ(d.a_cols() + d.b_cols(), q);
+      ASSERT_EQ(d.b_rows(), d.a_rows());
+      ASSERT_EQ(d.d_rows(), d.c_rows());
+      const std::size_t area = d.a_rows() * d.a_cols() +
+                               d.b_rows() * d.b_cols() +
+                               d.c_rows() * d.c_cols() +
+                               d.d_rows() * d.d_cols();
+      ASSERT_EQ(area, p * q);
+    }
+  }
+}
+
+TEST(RDecomposition, KnownValues) {
+  const RDecomposition d = r_decompose(7, 11);
+  EXPECT_EQ(d.hp, 2u);  // floor(sqrt 7)
+  EXPECT_EQ(d.rp, 3u);  // 7 - 4
+  EXPECT_EQ(d.hq, 3u);  // floor(sqrt 11)
+  EXPECT_EQ(d.rq, 2u);  // 11 - 9
+  EXPECT_EQ(d.a_rows(), 4u);
+  EXPECT_EQ(d.a_cols(), 9u);
+  EXPECT_EQ(d.budget(), 11u);
+}
+
+TEST(RDecomposition, PerfectSquaresHaveEmptyResiduals) {
+  const RDecomposition d = r_decompose(9, 16);
+  EXPECT_EQ(d.rp, 0u);
+  EXPECT_EQ(d.rq, 0u);
+  EXPECT_EQ(d.d_rows() * d.d_cols(), 0u);
+}
+
+TEST(RDecomposition, AppendixInequalitiesOnFullGrid) {
+  for (std::size_t p = 2; p <= 300; ++p) {
+    for (std::size_t q = 2; q <= 300; ++q) {
+      const RDecomposition d = r_decompose(p, q);
+      ASSERT_TRUE(d.eq1()) << p << "," << q;
+      ASSERT_TRUE(d.eq2()) << p << "," << q;
+      ASSERT_TRUE(d.eq3()) << p << "," << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scn

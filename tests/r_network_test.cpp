@@ -1,0 +1,118 @@
+// R(p, q) (§5.3): constant depth <= 16, balancer width <= max(p, q),
+// counting correctness across the (p, q) grid, plus the appendix
+// inequalities (Equations 1-3) that justify the quadrant decomposition.
+#include <gtest/gtest.h>
+
+#include "core/r_network.h"
+#include "verify/counting_verify.h"
+#include "verify/sorting_verify.h"
+
+namespace scn {
+namespace {
+
+using PQ = std::pair<std::size_t, std::size_t>;
+
+class RNetworkGrid : public ::testing::TestWithParam<PQ> {};
+
+TEST_P(RNetworkGrid, Validates) {
+  const auto [p, q] = GetParam();
+  const Network net = make_r_network(p, q);
+  EXPECT_EQ(net.validate(), "");
+  EXPECT_EQ(net.width(), p * q);
+}
+
+TEST_P(RNetworkGrid, DepthAtMost16) {
+  const auto [p, q] = GetParam();
+  const Network net = make_r_network(p, q);
+  EXPECT_LE(net.depth(), kRDepthBound) << "R(" << p << "," << q << ")";
+}
+
+TEST_P(RNetworkGrid, BalancerWidthAtMostMaxPQ) {
+  const auto [p, q] = GetParam();
+  const Network net = make_r_network(p, q);
+  EXPECT_LE(net.max_gate_width(), std::max(p, q));
+}
+
+TEST_P(RNetworkGrid, Counts) {
+  const auto [p, q] = GetParam();
+  const Network net = make_r_network(p, q);
+  CountingVerifyOptions opts;
+  opts.max_total = static_cast<Count>(2 * p * q + 5);
+  opts.random_per_total = 4;
+  EXPECT_TRUE(verify_counting(net, opts).ok) << "R(" << p << "," << q << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrid, RNetworkGrid,
+    ::testing::Values(PQ{2, 2}, PQ{2, 3}, PQ{3, 2}, PQ{3, 3}, PQ{2, 4},
+                      PQ{4, 2}, PQ{4, 4}, PQ{3, 5}, PQ{5, 3}, PQ{5, 5},
+                      PQ{2, 7}, PQ{7, 2}, PQ{6, 6}, PQ{7, 7}, PQ{8, 5},
+                      PQ{5, 8}, PQ{9, 4}, PQ{4, 9}, PQ{10, 10}, PQ{11, 7},
+                      PQ{12, 12}, PQ{13, 11}, PQ{16, 16}, PQ{17, 3}));
+
+TEST(RNetwork, WiderGridStructuralSweep) {
+  // Structure-only sweep over a wide grid: depth and width bounds hold
+  // everywhere (cheap, no counting verification).
+  for (std::size_t p = 2; p <= 40; ++p) {
+    for (std::size_t q = 2; q <= 40; ++q) {
+      const Network net = make_r_network(p, q);
+      ASSERT_EQ(net.validate(), "") << p << "," << q;
+      ASSERT_LE(net.depth(), kRDepthBound) << p << "," << q;
+      ASSERT_LE(net.max_gate_width(), std::max(p, q)) << p << "," << q;
+    }
+  }
+}
+
+TEST(RNetwork, SortsAllBinaryInputsUpToWidth16) {
+  for (const auto& [p, q] :
+       {PQ{2, 2}, PQ{2, 3}, PQ{3, 3}, PQ{3, 4}, PQ{2, 7}, PQ{4, 4},
+        PQ{5, 3}, PQ{2, 8}}) {
+    const Network net = make_r_network(p, q);
+    const SortingVerdict v = verify_sorting_exhaustive(net);
+    EXPECT_TRUE(v.ok) << "R(" << p << "," << q << ")";
+  }
+}
+
+TEST(RNetwork, IntegerSqrt) {
+  EXPECT_EQ(integer_sqrt(0), 0u);
+  EXPECT_EQ(integer_sqrt(1), 1u);
+  EXPECT_EQ(integer_sqrt(3), 1u);
+  EXPECT_EQ(integer_sqrt(4), 2u);
+  EXPECT_EQ(integer_sqrt(99), 9u);
+  EXPECT_EQ(integer_sqrt(100), 10u);
+  for (std::size_t x = 0; x < 5000; ++x) {
+    const std::size_t r = integer_sqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(RNetwork, AppendixInequalitiesHoldOnGrid) {
+  // Eq 1: max(p̂, q̂)^2 <= max(p, q)
+  // Eq 2: max(p̂, q̂) * ceil(max(p̄, q̄)/2) <= max(p, q)
+  // Eq 3: ceil(max(p̄, q̄)/2)^2 <= max(p, q)
+  for (std::size_t p = 2; p <= 200; ++p) {
+    for (std::size_t q = 2; q <= 200; ++q) {
+      const std::size_t m = std::max(p, q);
+      const std::size_t hp = integer_sqrt(p), hq = integer_sqrt(q);
+      const std::size_t rp = p - hp * hp, rq = q - hq * hq;
+      const std::size_t r = std::max(hp, hq);
+      const std::size_t s = std::max(rp, rq);
+      const std::size_t half = (s + 1) / 2;
+      ASSERT_LE(r * r, m) << p << "," << q;
+      ASSERT_LE(r * half, m) << p << "," << q;
+      ASSERT_LE(half * half, m) << p << "," << q;
+    }
+  }
+}
+
+TEST(RNetwork, PerfectSquareTimesPerfectSquare) {
+  // p̄ = q̄ = 0: quadrants B, C, D vanish; only A + nothing to merge.
+  const Network net = make_r_network(9, 4);
+  EXPECT_EQ(net.validate(), "");
+  EXPECT_LE(net.max_gate_width(), 9u);
+  EXPECT_TRUE(verify_counting(net).ok);
+}
+
+}  // namespace
+}  // namespace scn

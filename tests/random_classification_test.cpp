@@ -1,0 +1,94 @@
+// Classification study over random balancing networks: the one-directional
+// implication of the isomorphism theorem (§1) — every counting network is
+// a sorting network, never the reverse — checked empirically on hundreds
+// of random layered networks. The generator is seeded; the observed class
+// counts are asserted to be stable so any behavioral drift in the
+// verifiers or simulators shows up here.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/k_network.h"
+#include "net/network.h"
+#include "net/transform.h"
+#include "verify/counting_verify.h"
+#include "verify/fast_zero_one.h"
+
+namespace scn {
+namespace {
+
+Network random_network(std::mt19937_64& rng, std::size_t width,
+                       std::size_t layers) {
+  NetworkBuilder b(width);
+  std::uniform_int_distribution<std::size_t> gate_width(2, 4);
+  for (std::size_t l = 0; l < layers; ++l) {
+    // Random partition of a shuffled wire list into gates.
+    std::vector<Wire> wires(width);
+    for (std::size_t i = 0; i < width; ++i) wires[i] = static_cast<Wire>(i);
+    std::shuffle(wires.begin(), wires.end(), rng);
+    std::size_t at = 0;
+    while (at + 2 <= width) {
+      const std::size_t g = std::min(gate_width(rng), width - at);
+      if (g < 2) break;
+      b.add_balancer(std::span<const Wire>(wires.data() + at, g));
+      at += g;
+    }
+  }
+  return std::move(b).finish_identity();
+}
+
+TEST(RandomClassification, CountingImpliesSortingNeverViceVersa) {
+  std::mt19937_64 rng(20260707);
+  std::size_t counting = 0, sorting_only = 0, neither = 0;
+  for (int t = 0; t < 300; ++t) {
+    const std::size_t width = 4 + static_cast<std::size_t>(t % 4);
+    const std::size_t layers = 1 + static_cast<std::size_t>(t % 7);
+    const Network net = random_network(rng, width, layers);
+    ASSERT_EQ(net.validate(), "");
+
+    const bool counts = verify_counting(net).ok &&
+                        verify_counting_exhaustive(net, 2).ok;
+    const bool sorts = fast_verify_sorting_exhaustive(net).ok;
+
+    // The theorem: counting => sorting. A violation here would be a bug in
+    // a simulator or verifier (the implication is proven in the paper).
+    if (counts) {
+      ASSERT_TRUE(sorts) << "counting network that does not sort?! trial "
+                         << t;
+      ++counting;
+    } else if (sorts) {
+      ++sorting_only;
+    } else {
+      ++neither;
+    }
+  }
+  // Random layered networks essentially never sort (a single missing
+  // comparison leaves an unsorted binary input), so the population is
+  // dominated by "neither"; the counting class still occurs (shallow
+  // widths where a lucky wide gate covers everything).
+  EXPECT_GT(counting, 0u);
+  EXPECT_GT(neither, counting);
+  // The sort-only class exists too, but must be witnessed by construction
+  // (Figure 3), not by luck: bubble networks sort and never count.
+  (void)sorting_only;
+}
+
+TEST(RandomClassification, RandomPrefixPlusCountingNetworkAlwaysCounts) {
+  // compose(anything, counting network) counts: the final stage alone
+  // determines the step property. Random prefixes exercise arbitrary
+  // intermediate distributions.
+  std::mt19937_64 rng(7);
+  const Network k = make_k_network({2, 2, 2});
+  for (int t = 0; t < 25; ++t) {
+    const Network junk = random_network(rng, 8, static_cast<std::size_t>(1 + (t % 5)));
+    const Network fixed = compose(junk, k);
+    CountingVerifyOptions opts;
+    opts.max_total = 30;
+    opts.random_per_total = 3;
+    ASSERT_TRUE(verify_counting(fixed, opts).ok) << "trial " << t;
+    ASSERT_TRUE(fast_verify_sorting_exhaustive(fixed).ok) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,184 @@
+// Sequence calculus (§3.1): step / smooth / bitonic / staircase predicates,
+// step points, stride subsequences, and the unique step distribution.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "seq/sequence_props.h"
+
+namespace scn {
+namespace {
+
+TEST(StepProperty, EmptyAndSingleton) {
+  EXPECT_TRUE(has_step_property({}));
+  const Count one[] = {5};
+  EXPECT_TRUE(has_step_property(one));
+}
+
+TEST(StepProperty, AcceptsConstant) {
+  const Count x[] = {3, 3, 3, 3};
+  EXPECT_TRUE(has_step_property(x));
+}
+
+TEST(StepProperty, AcceptsSingleDrop) {
+  const Count x[] = {4, 4, 3, 3, 3};
+  EXPECT_TRUE(has_step_property(x));
+}
+
+TEST(StepProperty, RejectsIncrease) {
+  const Count x[] = {3, 4};
+  EXPECT_FALSE(has_step_property(x));
+}
+
+TEST(StepProperty, RejectsDropOfTwo) {
+  const Count x[] = {5, 3};
+  EXPECT_FALSE(has_step_property(x));
+}
+
+TEST(StepProperty, RejectsDoubleDrop) {
+  const Count x[] = {5, 4, 3};
+  EXPECT_FALSE(has_step_property(x));
+}
+
+TEST(StepProperty, PairwiseDefinitionAgreesWithImplementation) {
+  // Cross-check against the literal pairwise definition on all sequences
+  // over {0,1,2}^5.
+  std::vector<Count> x(5);
+  for (int code = 0; code < 243; ++code) {
+    int c = code;
+    for (auto& v : x) {
+      v = c % 3;
+      c /= 3;
+    }
+    bool pairwise = true;
+    for (std::size_t i = 0; i < x.size() && pairwise; ++i) {
+      for (std::size_t j = i + 1; j < x.size(); ++j) {
+        const Count d = x[i] - x[j];
+        if (d < 0 || d > 1) {
+          pairwise = false;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(has_step_property(x), pairwise);
+  }
+}
+
+TEST(Smooth, BasicCases) {
+  const Count x[] = {4, 2, 3, 4};
+  EXPECT_TRUE(is_k_smooth(x, 2));
+  EXPECT_FALSE(is_k_smooth(x, 1));
+  EXPECT_TRUE(is_k_smooth({}, 0));
+}
+
+TEST(Transitions, CountsValueChanges) {
+  const Count x[] = {1, 1, 0, 0, 1};
+  EXPECT_EQ(transition_count(x), 2u);
+  const Count y[] = {2, 2, 2};
+  EXPECT_EQ(transition_count(y), 0u);
+}
+
+TEST(Bitonic, PaperDefinition) {
+  const Count hi_lo_hi[] = {1, 0, 0, 1};
+  EXPECT_TRUE(has_bitonic_property(hi_lo_hi));
+  const Count lo_hi_lo[] = {0, 1, 1, 0};
+  EXPECT_TRUE(has_bitonic_property(lo_hi_lo));
+  const Count step[] = {1, 1, 0};
+  EXPECT_TRUE(has_bitonic_property(step));  // one transition
+  const Count three_trans[] = {1, 0, 1, 0};
+  EXPECT_FALSE(has_bitonic_property(three_trans));
+  const Count not_smooth[] = {2, 0, 2};
+  EXPECT_FALSE(has_bitonic_property(not_smooth));
+}
+
+TEST(StepPoint, AllEqualIsZero) {
+  const Count x[] = {2, 2, 2};
+  EXPECT_EQ(step_point(x), 0u);
+}
+
+TEST(StepPoint, IndexOfFirstLowValue) {
+  const Count x[] = {3, 3, 2, 2};
+  EXPECT_EQ(step_point(x), 2u);
+}
+
+TEST(StepPoint, NulloptOnNonStep) {
+  const Count x[] = {1, 2};
+  EXPECT_EQ(step_point(x), std::nullopt);
+}
+
+TEST(Staircase, HoldsWithinK) {
+  const std::vector<std::vector<Count>> xs = {{2, 2}, {2, 1}, {1, 1}};
+  EXPECT_TRUE(has_staircase_property(xs, 2));
+  EXPECT_FALSE(has_staircase_property(xs, 1));
+}
+
+TEST(Staircase, RejectsIncreasingSums) {
+  const std::vector<std::vector<Count>> xs = {{1, 1}, {2, 2}};
+  EXPECT_FALSE(has_staircase_property(xs, 5));
+}
+
+TEST(StepSequence, MatchesCeilFormula) {
+  for (std::size_t w = 1; w <= 9; ++w) {
+    for (Count n = 0; n <= static_cast<Count>(4 * w); ++n) {
+      const auto x = step_sequence(w, n);
+      EXPECT_TRUE(has_step_property(x));
+      EXPECT_EQ(sequence_sum(x), n);
+      for (std::size_t i = 0; i < w; ++i) {
+        // ceil((n - i) / w), clamped at zero-ish semantics for n >= 0.
+        const Count expected =
+            (n > static_cast<Count>(i))
+                ? (n - static_cast<Count>(i) + static_cast<Count>(w) - 1) /
+                      static_cast<Count>(w)
+                : (n > static_cast<Count>(i) ? 1 : 0);
+        if (n <= static_cast<Count>(i)) {
+          EXPECT_EQ(x[i], 0) << w << " " << n << " " << i;
+        } else {
+          EXPECT_EQ(x[i], expected) << w << " " << n << " " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(StepSequence, UniquenessOfStepDistribution) {
+  // Any step sequence of width w and total n equals step_sequence(w, n).
+  const Count x[] = {3, 3, 2, 2, 2};
+  ASSERT_TRUE(has_step_property(x));
+  EXPECT_EQ(step_sequence(5, sequence_sum(x)),
+            std::vector<Count>(std::begin(x), std::end(x)));
+}
+
+TEST(StrideSubsequence, PaperNotation) {
+  const Count x[] = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(stride_subsequence(x, 0, 2), (std::vector<Count>{0, 2, 4, 6}));
+  EXPECT_EQ(stride_subsequence(x, 1, 3), (std::vector<Count>{1, 4}));
+  EXPECT_EQ(stride_subsequence(x, 6, 1), (std::vector<Count>{6}));
+  EXPECT_TRUE(stride_subsequence(x, 0, 0).empty());
+}
+
+TEST(StrideSubsequence, PreservesStepProperty) {
+  // Subsequences of a step sequence keep the step property — the fact the
+  // merger recursion (Prop 2) relies on.
+  for (Count n = 0; n <= 36; ++n) {
+    const auto x = step_sequence(12, n);
+    for (std::size_t s = 1; s <= 4; ++s) {
+      for (std::size_t start = 0; start < s; ++start) {
+        EXPECT_TRUE(has_step_property(stride_subsequence(x, start, s)));
+      }
+    }
+  }
+}
+
+TEST(StepValue, AgreesWithStepSequence) {
+  for (std::size_t w = 1; w <= 7; ++w) {
+    for (Count n = 0; n <= 30; ++n) {
+      const auto x = step_sequence(w, n);
+      for (std::size_t i = 0; i < w; ++i) {
+        EXPECT_EQ(step_value(w, n, i), x[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,95 @@
+// Smoothing analysis: counting networks are 1-smoothers; prefixes smooth
+// progressively; the periodic network's blocks halve the spread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "baseline/periodic.h"
+#include "core/k_network.h"
+#include "net/transform.h"
+#include "sim/count_sim.h"
+#include "verify/smoothing.h"
+
+namespace scn {
+namespace {
+
+TEST(Smoothing, CountingNetworksAreOneSmooth) {
+  for (const auto& factors :
+       {std::vector<std::size_t>{2, 2, 2}, {3, 2}, {2, 3, 2}}) {
+    const Network net = make_k_network(factors);
+    const SmoothingReport r = probe_smoothing(net);
+    EXPECT_LE(r.worst_spread, 1) << "spread " << r.worst_spread;
+  }
+}
+
+TEST(Smoothing, EmptyNetworkSpreadEqualsInputSpread) {
+  const Network net = NetworkBuilder(4).finish_identity();
+  const SmoothingReport r = probe_smoothing_exhaustive(net, 3);
+  EXPECT_EQ(r.worst_spread, 3);
+  EXPECT_GT(r.inputs_checked, 0u);
+}
+
+TEST(Smoothing, ExhaustiveMatchesSingleBalancer) {
+  NetworkBuilder b(3);
+  b.add_balancer({0, 1, 2});
+  const Network net = std::move(b).finish_identity();
+  const SmoothingReport r = probe_smoothing_exhaustive(net, 4);
+  EXPECT_LE(r.worst_spread, 1);
+}
+
+TEST(Smoothing, PrefixesSmoothMonotonically) {
+  // Deeper prefixes of a counting network never have larger worst spread
+  // on the same probe set.
+  const Network net = make_k_network({2, 2, 2});
+  Count prev = std::numeric_limits<Count>::max();
+  for (std::size_t d = 0; d <= net.depth(); ++d) {
+    const Network pre = prefix_layers(net, d);
+    SmoothingProbeOptions opts;
+    opts.max_total = 30;
+    const SmoothingReport r = probe_smoothing(pre, opts);
+    EXPECT_LE(r.worst_spread, prev) << "depth " << d;
+    prev = r.worst_spread;
+  }
+  EXPECT_LE(prev, 1);
+}
+
+TEST(Smoothing, PeriodicBlocksConvergeToOneSmooth) {
+  // Each extra block of the periodic network reduces the spread; after
+  // log w blocks the output counts (is 1-smooth with step order).
+  const std::size_t log_w = 3;
+  NetworkBuilder bb(8);
+  append_block(bb, log_w);
+  const Network block = std::move(bb).finish_identity();
+  Network acc = block;
+  std::vector<Count> spreads;
+  SmoothingProbeOptions opts;
+  opts.max_total = 40;
+  spreads.push_back(probe_smoothing(acc, opts).worst_spread);
+  for (std::size_t i = 1; i < log_w; ++i) {
+    acc = compose(acc, block);
+    spreads.push_back(probe_smoothing(acc, opts).worst_spread);
+  }
+  for (std::size_t i = 1; i < spreads.size(); ++i) {
+    EXPECT_LE(spreads[i], spreads[i - 1]);
+  }
+  EXPECT_LE(spreads.back(), 1);
+  EXPECT_GT(spreads.front(), 0);
+}
+
+TEST(Smoothing, WorstInputWitnessReplays) {
+  // The reported worst input must reproduce the reported spread.
+  const Network net = prefix_layers(make_k_network({2, 2, 2}), 2);
+  SmoothingProbeOptions opts;
+  opts.max_total = 25;
+  const SmoothingReport r = probe_smoothing(net, opts);
+  if (r.worst_spread > 0) {
+    ASSERT_FALSE(r.worst_input.empty());
+    const auto outs = output_counts(net, r.worst_input);
+    const auto [mn, mx] = std::minmax_element(outs.begin(), outs.end());
+    EXPECT_EQ(*mx - *mn, r.worst_spread);
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,102 @@
+// Token routing under adversarial schedules: the quiescence lemma (outputs
+// are a pure function of input counts, independent of schedule).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+#include "sim/token_sim.h"
+
+namespace scn {
+namespace {
+
+TEST(TokenSim, SingleBalancerRoundRobin) {
+  NetworkBuilder b(3);
+  b.add_balancer({0, 1, 2});
+  const Network net = std::move(b).finish_identity();
+  const std::vector<Count> in = {7, 0, 0};
+  const TokenSimResult res =
+      run_token_simulation(net, in, SchedulePolicy::kOneTokenAtATime);
+  EXPECT_EQ(res.outputs, (std::vector<Count>{3, 2, 2}));
+  EXPECT_EQ(res.hops, 7u);
+}
+
+TEST(TokenSim, EmptyNetworkPassesThrough) {
+  const Network net = NetworkBuilder(2).finish_identity();
+  const std::vector<Count> in = {4, 2};
+  const TokenSimResult res =
+      run_token_simulation(net, in, SchedulePolicy::kRandom, 11);
+  EXPECT_EQ(res.outputs, in);
+  EXPECT_EQ(res.hops, 0u);
+}
+
+class TokenSimPolicies : public ::testing::TestWithParam<SchedulePolicy> {};
+
+TEST_P(TokenSimPolicies, AgreesWithCountPropagationOnK) {
+  const Network net = make_k_network({3, 2, 2});
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const auto in = random_count_vector(rng, net.width(), 20 + 3 * t);
+    const auto expected = output_counts(net, in);
+    const TokenSimResult res =
+        run_token_simulation(net, in, GetParam(),
+                             static_cast<std::uint64_t>(100 + t));
+    EXPECT_EQ(res.outputs, expected);
+  }
+}
+
+TEST_P(TokenSimPolicies, AgreesWithCountPropagationOnL) {
+  const Network net = make_l_network({2, 3, 2});
+  std::mt19937_64 rng(6);
+  for (int t = 0; t < 6; ++t) {
+    const auto in = random_count_vector(rng, net.width(), 15 + 5 * t);
+    const auto expected = output_counts(net, in);
+    const TokenSimResult res =
+        run_token_simulation(net, in, GetParam(),
+                             static_cast<std::uint64_t>(200 + t));
+    EXPECT_EQ(res.outputs, expected);
+  }
+}
+
+TEST_P(TokenSimPolicies, HopCountEqualsSumOfPathLengths) {
+  // Every token traverses at least one gate in a nonempty counting network;
+  // total hops is schedule independent (it is the sum of per-token path
+  // lengths, fixed by the routing).
+  const Network net = make_k_network({2, 2, 2});
+  const std::vector<Count> in = {3, 0, 1, 0, 2, 0, 0, 1};
+  const auto base =
+      run_token_simulation(net, in, SchedulePolicy::kOneTokenAtATime);
+  const auto res = run_token_simulation(net, in, GetParam(), 77);
+  EXPECT_EQ(res.hops, base.hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, TokenSimPolicies,
+                         ::testing::ValuesIn(all_schedule_policies().begin(),
+                                             all_schedule_policies().end()));
+
+TEST(TokenSim, RandomScheduleSeedsAllConverge) {
+  const Network net = make_k_network({2, 3});
+  const std::vector<Count> in = {5, 1, 0, 2, 0, 4};
+  const auto expected = output_counts(net, in);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto res =
+        run_token_simulation(net, in, SchedulePolicy::kRandom, seed);
+    EXPECT_EQ(res.outputs, expected) << "seed " << seed;
+  }
+}
+
+TEST(TokenSim, ReusingLinkedNetworkMatches) {
+  const Network net = make_k_network({2, 2, 3});
+  const LinkedNetwork linked(net);
+  const std::vector<Count> in = random_count_vector(
+      *std::make_unique<std::mt19937_64>(9), net.width(), 31);
+  EXPECT_EQ(
+      run_token_simulation(linked, in, SchedulePolicy::kLifoBursts, 4).outputs,
+      run_token_simulation(net, in, SchedulePolicy::kLifoBursts, 4).outputs);
+}
+
+}  // namespace
+}  // namespace scn

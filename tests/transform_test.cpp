@@ -1,0 +1,104 @@
+// Structural transforms: composition, relabeling, prefixes — and the
+// classic composition facts (counting after anything still counts; the
+// periodic network is a composition of blocks).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "baseline/bubble.h"
+#include "baseline/periodic.h"
+#include "core/k_network.h"
+#include "net/transform.h"
+#include "seq/generators.h"
+#include "sim/count_sim.h"
+#include "verify/counting_verify.h"
+
+namespace scn {
+namespace {
+
+TEST(Compose, BehavesLikeSequentialApplication) {
+  const Network a = make_bubble_network(6);
+  const Network k = make_k_network({3, 2});
+  const Network ak = compose(a, k);
+  EXPECT_EQ(ak.validate(), "");
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 50; ++t) {
+    const auto in = random_count_vector(rng, 6, 23 + t);
+    // Manual two-step: run a, reorder to logical, feed k.
+    const auto mid = output_counts(a, in);
+    const auto expected = output_counts(k, mid);
+    EXPECT_EQ(output_counts(ak, in), expected);
+  }
+}
+
+TEST(Compose, CountingAfterAnythingStillCounts) {
+  // A counting network appended to ANY balancing network yields a counting
+  // network (the step property only depends on the final stage).
+  const Network junk = make_bubble_network(8);  // not a counting network
+  const Network k = make_k_network({2, 2, 2});
+  const Network fixed = compose(junk, k);
+  EXPECT_TRUE(verify_counting(fixed).ok);
+}
+
+TEST(Compose, DepthAddsWhenLayersAreFull) {
+  const Network k1 = make_k_network({2, 2, 2});
+  const Network k2 = make_k_network({2, 2, 2});
+  const Network kk = compose(k1, k2);
+  EXPECT_EQ(kk.depth(), k1.depth() + k2.depth());
+  EXPECT_EQ(kk.gate_count(), k1.gate_count() + k2.gate_count());
+}
+
+TEST(Compose, PeriodicIsComposedBlocks) {
+  // Build one block, compose it log_w times: must equal the periodic
+  // network gate for gate.
+  const std::size_t log_w = 3;
+  NetworkBuilder b(8);
+  append_block(b, log_w);
+  const Network block = std::move(b).finish_identity();
+  Network acc = block;
+  for (std::size_t i = 1; i < log_w; ++i) acc = compose(acc, block);
+  const Network periodic = make_periodic_network(log_w);
+  ASSERT_EQ(acc.gate_count(), periodic.gate_count());
+  for (std::size_t g = 0; g < acc.gate_count(); ++g) {
+    const auto wa = acc.gate_wires(g);
+    const auto wp = periodic.gate_wires(g);
+    ASSERT_TRUE(std::equal(wa.begin(), wa.end(), wp.begin(), wp.end()));
+  }
+  EXPECT_TRUE(verify_counting(acc).ok);
+}
+
+TEST(Relabel, BehaviorInvariantUnderWirePermutation) {
+  const Network net = make_k_network({2, 3});
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<Wire> perm(net.width());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const Network renamed = relabel(net, perm);
+    EXPECT_EQ(renamed.validate(), "");
+    // Logical behavior identical: feeding input x at logical position i
+    // (physical wire perm[i] in the renamed net) yields the same logical
+    // outputs.
+    const auto in = random_count_vector(rng, net.width(), 31);
+    std::vector<Count> renamed_in(net.width());
+    for (std::size_t i = 0; i < net.width(); ++i) {
+      renamed_in[static_cast<std::size_t>(perm[i])] = in[i];
+    }
+    EXPECT_EQ(output_counts(renamed, renamed_in), output_counts(net, in));
+  }
+}
+
+TEST(PrefixLayers, TruncatesByDepth) {
+  const Network net = make_k_network({2, 2, 2});  // depth 5
+  for (std::size_t d = 0; d <= net.depth(); ++d) {
+    const Network pre = prefix_layers(net, d);
+    EXPECT_EQ(pre.depth(), d);
+    EXPECT_EQ(pre.validate(), "");
+  }
+  EXPECT_EQ(prefix_layers(net, net.depth()).gate_count(), net.gate_count());
+  EXPECT_EQ(prefix_layers(net, 0).gate_count(), 0u);
+}
+
+}  // namespace
+}  // namespace scn

@@ -1,0 +1,135 @@
+// The verifiers themselves: they accept correct networks and — failure
+// injection — catch broken ones.
+#include <gtest/gtest.h>
+
+#include "baseline/bubble.h"
+#include "core/k_network.h"
+#include "sim/count_sim.h"
+#include "verify/checkers.h"
+#include "verify/counting_verify.h"
+#include "verify/sorting_verify.h"
+
+namespace scn {
+namespace {
+
+/// A "network" that swaps nothing: identity (sorts nothing, counts nothing
+/// beyond width 1).
+Network identity_network(std::size_t w) {
+  return NetworkBuilder(w).finish_identity();
+}
+
+/// A deliberately broken variant of K(2,2): drop the final layer's gate.
+Network broken_k22() {
+  // K(2,2) is a single 4-balancer; replace with two disjoint 2-balancers,
+  // which neither sorts nor counts width 4.
+  NetworkBuilder b(4);
+  b.add_balancer({0, 1});
+  b.add_balancer({2, 3});
+  return std::move(b).finish_identity();
+}
+
+TEST(SortingVerify, AcceptsRealSortingNetwork) {
+  const SortingVerdict v = verify_sorting_exhaustive(make_k_network({2, 3}));
+  EXPECT_TRUE(v.ok);
+  EXPECT_TRUE(v.counterexample.empty());
+  EXPECT_EQ(v.inputs_checked, 64u);
+}
+
+TEST(SortingVerify, RejectsIdentityWithBinaryCounterexample) {
+  const SortingVerdict v = verify_sorting_exhaustive(identity_network(3));
+  EXPECT_FALSE(v.ok);
+  ASSERT_EQ(v.counterexample.size(), 3u);
+  // The counterexample must really fail: it is a binary non-sorted input.
+  for (const Count c : v.counterexample) {
+    EXPECT_TRUE(c == 0 || c == 1);
+  }
+}
+
+TEST(SortingVerify, RejectsBrokenNetwork) {
+  EXPECT_FALSE(verify_sorting_exhaustive(broken_k22()).ok);
+  EXPECT_FALSE(verify_sorting_sampled(broken_k22(), 200).ok);
+}
+
+TEST(SortingVerify, SampledAcceptsRealNetwork) {
+  const SortingVerdict v =
+      verify_sorting_sampled(make_k_network({3, 3, 2}), 150);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.inputs_checked, 150u);
+}
+
+TEST(CountingVerify, AcceptsRealCountingNetwork) {
+  const CountingVerdict v = verify_counting(make_k_network({2, 2, 2}));
+  EXPECT_TRUE(v.ok);
+  EXPECT_GT(v.inputs_checked, 100u);
+}
+
+TEST(CountingVerify, RejectsBrokenNetworkWithWitness) {
+  const CountingVerdict v = verify_counting(broken_k22());
+  ASSERT_FALSE(v.ok);
+  ASSERT_FALSE(v.counterexample.empty());
+  // Replay the witness: it must really produce a non-step output.
+  EXPECT_FALSE(counts_to_step(broken_k22(), v.counterexample));
+}
+
+TEST(CountingVerify, ExhaustiveFindsBubbleCounterexample) {
+  // The Figure 3 phenomenon, found by bounded exhaustion rather than luck.
+  const Network bubble = make_bubble_network(3);
+  const CountingVerdict v = verify_counting_exhaustive(bubble, 3);
+  ASSERT_FALSE(v.ok);
+  EXPECT_FALSE(counts_to_step(bubble, v.counterexample));
+}
+
+TEST(CountingVerify, ExhaustiveAcceptsSingleBalancer) {
+  NetworkBuilder b(3);
+  b.add_balancer({0, 1, 2});
+  const Network net = std::move(b).finish_identity();
+  EXPECT_TRUE(verify_counting_exhaustive(net, 4).ok);
+}
+
+TEST(ScheduleIndependence, HoldsForCountingNetworks) {
+  const Network net = make_k_network({2, 3});
+  const std::vector<Count> in = {4, 0, 7, 1, 0, 2};
+  EXPECT_TRUE(verify_schedule_independence(net, in));
+}
+
+TEST(ScheduleIndependence, HoldsEvenForNonCountingNetworks) {
+  // Quiescent outputs are schedule independent for ANY balancing network —
+  // the lemma is about balancers, not about the step property.
+  const Network net = make_bubble_network(4);
+  const std::vector<Count> in = {5, 0, 3, 1};
+  EXPECT_TRUE(verify_schedule_independence(net, in));
+}
+
+TEST(Checkers, PermutationOfIota) {
+  const Count good[] = {2, 0, 1};
+  EXPECT_TRUE(is_permutation_of_iota(good));
+  const Count dup[] = {0, 0, 2};
+  EXPECT_FALSE(is_permutation_of_iota(dup));
+  const Count range[] = {0, 1, 3};
+  EXPECT_FALSE(is_permutation_of_iota(range));
+  EXPECT_TRUE(is_permutation_of_iota({}));
+}
+
+TEST(Checkers, ExactStepOutput) {
+  const Count good[] = {2, 2, 1, 1};
+  EXPECT_TRUE(is_exact_step_output(good));
+  const Count nonstep[] = {2, 1, 2, 1};
+  EXPECT_FALSE(is_exact_step_output(nonstep));
+}
+
+TEST(Checkers, MonotoneConsistent) {
+  const Count a[] = {3, 1, 2};
+  const Count b[] = {9, 4, 7};
+  EXPECT_TRUE(monotone_consistent(a, b));
+  const Count c[] = {9, 7, 4};
+  EXPECT_FALSE(monotone_consistent(a, c));
+}
+
+TEST(Checkers, FormatSequence) {
+  const Count x[] = {1, 2, 3};
+  EXPECT_EQ(format_sequence(x), "1 2 3");
+  EXPECT_EQ(format_sequence({}), "");
+}
+
+}  // namespace
+}  // namespace scn

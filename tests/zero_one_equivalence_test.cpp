@@ -1,0 +1,89 @@
+// The mechanism behind the isomorphism theorem (§1): on 0-1 inputs, one
+// value per wire, a p-balancer and a p-comparator act IDENTICALLY — the
+// balancer's ceil((N-i)/p) distribution of N ones equals the comparator's
+// descending sort. Hence counting networks are sorting networks (via the
+// 0-1 principle), and the two execution engines must agree bit for bit on
+// binary inputs for ANY network.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/batcher.h"
+#include "baseline/bubble.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/r_network.h"
+#include "seq/generators.h"
+#include "sim/comparator_sim.h"
+#include "sim/count_sim.h"
+
+namespace scn {
+namespace {
+
+void expect_engines_agree_on_all_binary(const Network& net) {
+  ASSERT_LE(net.width(), 16u);
+  for (std::uint64_t j = 0; j < (std::uint64_t{1} << net.width()); ++j) {
+    const std::vector<Count> in = binary_vector(net.width(), j);
+    ASSERT_EQ(output_counts(net, in), comparator_output_counts(net, in))
+        << "binary input " << j;
+  }
+}
+
+TEST(ZeroOneEquivalence, GateLevel) {
+  // Direct check of the gate claim: N ones into a p-balancer come out as
+  // 1^N 0^(p-N) — the comparator's descending order.
+  for (std::size_t p = 2; p <= 8; ++p) {
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << p); ++mask) {
+      const std::vector<Count> in = binary_vector(p, mask);
+      const auto bal = balancer_outputs(in);
+      auto cmp = in;
+      std::sort(cmp.begin(), cmp.end(), std::greater<>());
+      ASSERT_EQ(bal, cmp) << "p=" << p << " mask=" << mask;
+    }
+  }
+}
+
+TEST(ZeroOneEquivalence, OnK) {
+  expect_engines_agree_on_all_binary(make_k_network({2, 3, 2}));
+}
+
+TEST(ZeroOneEquivalence, OnL) {
+  expect_engines_agree_on_all_binary(make_l_network({3, 2, 2}));
+}
+
+TEST(ZeroOneEquivalence, OnR) {
+  expect_engines_agree_on_all_binary(make_r_network(4, 4));
+}
+
+TEST(ZeroOneEquivalence, EvenOnNonCountingNetworks) {
+  // The per-gate identity holds regardless of whether the network counts.
+  expect_engines_agree_on_all_binary(make_bubble_network(6));
+  expect_engines_agree_on_all_binary(make_batcher_network(10));
+}
+
+TEST(ZeroOneEquivalence, BreaksAboveOnePerWire) {
+  // The equivalence is specific to 0-1 counts: with a count of 2 the
+  // balancer splits while the comparator just routes the "value" 2.
+  NetworkBuilder b(2);
+  b.add_balancer({0, 1});
+  const Network net = std::move(b).finish_identity();
+  const std::vector<Count> in = {2, 0};
+  EXPECT_EQ(output_counts(net, in), (std::vector<Count>{1, 1}));
+  EXPECT_EQ(comparator_output_counts(net, in), (std::vector<Count>{2, 0}));
+}
+
+TEST(ZeroOneEquivalence, IsomorphismCorollaryOnRandomBinaryLoads) {
+  // Counting network + 0-1 principle => sorted binary outputs. Spot-check
+  // at a width too large for exhaustion.
+  const Network net = make_l_network({5, 4, 3});
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 300; ++t) {
+    const auto in = random_values(rng, net.width(), 0, 1);
+    const auto out = comparator_output_counts(net, in);
+    ASSERT_TRUE(is_sorted_descending(out));
+    ASSERT_EQ(output_counts(net, in), out);
+  }
+}
+
+}  // namespace
+}  // namespace scn
