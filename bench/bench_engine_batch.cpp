@@ -1,0 +1,220 @@
+// E-ENG — compiled batch engine vs the per-gate interpreter.
+//
+// Sorts a large batch of random vectors through K / L / bitonic networks
+// four ways: per-gate interpreter (apply_comparators, one vector at a
+// time), compiled plan scalar, compiled plan SoA batch, and the SoA batch
+// sharded over the shared ThreadPool. The headline number is vectors/sec;
+// the acceptance bar for the engine is >= 3x interpreter throughput for the
+// single-threaded SoA batch on a width >= 24 network.
+//
+// Besides the google-benchmark timings, the preamble emits
+// BENCH_engine.json — a machine-readable report of the measured
+// throughputs and speedups per network.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <random>
+
+#include "baseline/bitonic.h"
+#include "bench_common.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "engine/batch_engine.h"
+#include "engine/execution_plan.h"
+#include "perf/thread_pool.h"
+#include "seq/generators.h"
+#include "sim/comparator_sim.h"
+
+namespace {
+
+using namespace scn;
+
+constexpr std::size_t kBatch = 4096;
+
+std::vector<std::vector<Count>> make_inputs(std::size_t width,
+                                            std::size_t n) {
+  std::mt19937_64 rng(99);
+  std::vector<std::vector<Count>> inputs;
+  inputs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    inputs.push_back(random_count_vector(rng, width, 1000));
+  }
+  return inputs;
+}
+
+double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-3 wall time for `fn`, in seconds.
+double best_time(const std::function<void()>& fn) {
+  double best = time_once(fn);
+  for (int rep = 0; rep < 2; ++rep) best = std::min(best, time_once(fn));
+  return best;
+}
+
+struct Measurement {
+  const char* network;
+  std::size_t width;
+  std::uint32_t depth;
+  double interp_vps;    // vectors/sec, per-gate interpreter
+  double scalar_vps;    // plan, scalar tier
+  double batch_vps;     // plan, SoA batch tier
+  double threaded_vps;  // plan, SoA batch over the shared pool
+};
+
+Measurement measure(const char* name, const Network& net) {
+  const ExecutionPlan plan = compile_plan(net);
+  const auto inputs = make_inputs(net.width(), kBatch);
+  const auto n = static_cast<double>(kBatch);
+
+  const double t_interp = best_time([&] {
+    for (const auto& in : inputs) {
+      benchmark::DoNotOptimize(comparator_output_counts(net, in));
+    }
+  });
+  const double t_scalar = best_time([&] {
+    for (const auto& in : inputs) {
+      benchmark::DoNotOptimize(plan_comparator_output(plan, in));
+    }
+  });
+  const double t_batch =
+      best_time([&] { benchmark::DoNotOptimize(plan_sort_batch(plan, inputs)); });
+  const double t_threaded = best_time([&] {
+    benchmark::DoNotOptimize(
+        plan_sort_batch(plan, inputs, &ThreadPool::shared()));
+  });
+
+  return Measurement{name,         net.width(),   net.depth(),
+                     n / t_interp, n / t_scalar,  n / t_batch,
+                     n / t_threaded};
+}
+
+void emit_report(const std::vector<Measurement>& ms) {
+  bench::print_header(
+      "E-ENG  Compiled batch engine vs per-gate interpreter",
+      "layer-scheduled SoA batches >= 3x interpreter throughput (w >= 24)");
+  std::printf("%-14s %5s %5s %12s %12s %12s %12s %8s\n", "network", "w", "d",
+              "interp v/s", "scalar v/s", "batch v/s", "threaded v/s",
+              "batch/x");
+  bench::print_row_rule();
+  FILE* json = std::fopen("BENCH_engine.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"experiment\": \"engine_batch\",\n");
+    std::fprintf(json, "  \"batch_size\": %zu,\n  \"results\": [\n", kBatch);
+  }
+  bool all_pass = true;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    const double speedup = m.batch_vps / m.interp_vps;
+    const bool pass = speedup >= 3.0;
+    all_pass = all_pass && pass;
+    std::printf("%-14s %5zu %5u %12.0f %12.0f %12.0f %12.0f %7.2fx %s\n",
+                m.network, m.width, m.depth, m.interp_vps, m.scalar_vps,
+                m.batch_vps, m.threaded_vps, speedup, bench::mark(pass));
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "    {\"network\": \"%s\", \"width\": %zu, \"depth\": %u, "
+                   "\"interpreter_vps\": %.1f, \"plan_scalar_vps\": %.1f, "
+                   "\"plan_batch_vps\": %.1f, \"plan_threaded_vps\": %.1f, "
+                   "\"batch_speedup\": %.3f}%s\n",
+                   m.network, m.width, m.depth, m.interp_vps, m.scalar_vps,
+                   m.batch_vps, m.threaded_vps, speedup,
+                   i + 1 < ms.size() ? "," : "");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
+                 all_pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_engine.json\n");
+  }
+  std::printf("\n");
+}
+
+template <typename Runner>
+void batch_bench(benchmark::State& state, const Network& net, Runner run) {
+  const ExecutionPlan plan = compile_plan(net);
+  const auto inputs = make_inputs(net.width(), kBatch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run(net, plan, inputs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+
+const Network& k64() {
+  static const Network net = make_k_network({4, 4, 4});
+  return net;
+}
+
+void BM_InterpreterK64(benchmark::State& state) {
+  batch_bench(state, k64(),
+              [](const Network& net, const ExecutionPlan&,
+                 const std::vector<std::vector<Count>>& inputs) {
+                std::vector<Count> last;
+                for (const auto& in : inputs) {
+                  last = comparator_output_counts(net, in);
+                }
+                return last;
+              });
+}
+BENCHMARK(BM_InterpreterK64)->Unit(benchmark::kMillisecond);
+
+void BM_PlanScalarK64(benchmark::State& state) {
+  batch_bench(state, k64(),
+              [](const Network&, const ExecutionPlan& plan,
+                 const std::vector<std::vector<Count>>& inputs) {
+                std::vector<Count> last;
+                for (const auto& in : inputs) {
+                  last = plan_comparator_output(plan, in);
+                }
+                return last;
+              });
+}
+BENCHMARK(BM_PlanScalarK64)->Unit(benchmark::kMillisecond);
+
+void BM_PlanBatchK64(benchmark::State& state) {
+  batch_bench(state, k64(),
+              [](const Network&, const ExecutionPlan& plan,
+                 const std::vector<std::vector<Count>>& inputs) {
+                return plan_sort_batch(plan, inputs);
+              });
+}
+BENCHMARK(BM_PlanBatchK64)->Unit(benchmark::kMillisecond);
+
+void BM_PlanThreadedK64(benchmark::State& state) {
+  batch_bench(state, k64(),
+              [](const Network&, const ExecutionPlan& plan,
+                 const std::vector<std::vector<Count>>& inputs) {
+                return plan_sort_batch(plan, inputs, &ThreadPool::shared());
+              });
+}
+BENCHMARK(BM_PlanThreadedK64)->Unit(benchmark::kMillisecond);
+
+void BM_PlanCountBatchK64(benchmark::State& state) {
+  batch_bench(state, k64(),
+              [](const Network&, const ExecutionPlan& plan,
+                 const std::vector<std::vector<Count>>& inputs) {
+                return plan_count_batch(plan, inputs);
+              });
+}
+BENCHMARK(BM_PlanCountBatchK64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Measurement> ms;
+  ms.push_back(measure("K(4x4x4)", make_k_network({4, 4, 4})));
+  ms.push_back(measure("K(2x3x4)", make_k_network({2, 3, 4})));
+  ms.push_back(measure("L(4x4x4)", make_l_network({4, 4, 4})));
+  ms.push_back(measure("bitonic32", make_bitonic_network(5)));
+  emit_report(ms);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

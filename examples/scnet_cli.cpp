@@ -10,9 +10,14 @@
 //   scnet_cli ascii < net.scnet        wire diagram
 //   scnet_cli count t0,t1,... < net.scnet    quiescent outputs for a load
 //   scnet_cli sort v0,v1,...  < net.scnet    comparator outputs for values
+//   scnet_cli sort --engine=plan v0,...      same, via the compiled engine
+//   scnet_cli sort --engine=plan --batch N   sort N random vectors (SoA
+//                                            batch over the thread pool)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
 
@@ -24,10 +29,14 @@
 #include "core/k_network.h"
 #include "core/l_network.h"
 #include "core/r_network.h"
+#include "engine/batch_engine.h"
+#include "engine/execution_plan.h"
 #include "net/analyze.h"
 #include "net/export.h"
 #include "net/serialize.h"
 #include "perf/contention_model.h"
+#include "perf/thread_pool.h"
+#include "seq/generators.h"
 #include "sim/comparator_sim.h"
 #include "sim/count_sim.h"
 #include "verify/checkers.h"
@@ -47,7 +56,10 @@ int usage() {
                "  scnet_cli build {batcher|bubble} <width>\n"
                "  scnet_cli {info|analyze|svg|verify|dot|ascii} < net.scnet\n"
                "  scnet_cli count <t0,t1,...> < net.scnet\n"
-               "  scnet_cli sort <v0,v1,...> < net.scnet\n");
+               "  scnet_cli sort [--engine={interp|plan}] <v0,v1,...> "
+               "< net.scnet\n"
+               "  scnet_cli sort --engine=plan --batch <N> [--seed <s>] "
+               "< net.scnet\n");
   return 2;
 }
 
@@ -115,6 +127,76 @@ int cmd_build(int argc, char** argv) {
     return usage();
   }
   std::fputs(serialize_network(net).c_str(), stdout);
+  return 0;
+}
+
+int cmd_sort(const Network& net, int argc, char** argv) {
+  std::string engine = "interp";
+  std::size_t batch = 0;
+  std::uint64_t seed = 42;
+  std::string values_arg;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--engine=", 0) == 0) {
+      engine = arg.substr(9);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown sort option %s\n", arg.c_str());
+      return 2;
+    } else {
+      values_arg = arg;
+    }
+  }
+  if (engine != "interp" && engine != "plan") {
+    std::fprintf(stderr, "unknown engine '%s' (interp|plan)\n",
+                 engine.c_str());
+    return 2;
+  }
+
+  if (batch > 0) {
+    // Batch demo/throughput mode: sort `batch` random vectors through the
+    // compiled engine on the shared pool, cross-check one lane against the
+    // per-gate interpreter, and report throughput.
+    if (engine != "plan") {
+      std::fprintf(stderr, "--batch requires --engine=plan\n");
+      return 2;
+    }
+    const ExecutionPlan plan = compile_plan(net);
+    std::mt19937_64 rng(seed);
+    std::vector<std::vector<Count>> inputs;
+    inputs.reserve(batch);
+    for (std::size_t j = 0; j < batch; ++j) {
+      inputs.push_back(
+          random_count_vector(rng, net.width(),
+                              static_cast<Count>(17 * net.width())));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outs = plan_sort_batch(plan, inputs, &ThreadPool::shared());
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const bool agree =
+        outs.front() == comparator_output_counts(net, inputs.front());
+    std::printf("sorted %zu vectors of width %zu in %.3f ms (%.0f vectors/s)\n",
+                batch, net.width(), secs * 1e3,
+                static_cast<double>(batch) / secs);
+    std::printf("cross-check vs interpreter: %s\n", agree ? "PASS" : "FAIL");
+    std::printf("lane 0: %s\n", format_sequence(outs.front()).c_str());
+    return agree ? 0 : 1;
+  }
+
+  if (values_arg.empty()) return usage();
+  const auto in = parse_counts(values_arg);
+  if (in.size() != net.width()) {
+    std::fprintf(stderr, "need %zu values\n", net.width());
+    return 2;
+  }
+  const std::vector<Count> out =
+      engine == "plan" ? plan_comparator_output(compile_plan(net), in)
+                       : comparator_output_counts(net, in);
+  std::printf("%s\n", format_sequence(out).c_str());
   return 0;
 }
 
@@ -197,15 +279,6 @@ int main(int argc, char** argv) {
     std::printf("%s\n", format_sequence(output_counts(net, in)).c_str());
     return 0;
   }
-  if (cmd == "sort" && argc >= 3) {
-    const auto in = parse_counts(argv[2]);
-    if (in.size() != net.width()) {
-      std::fprintf(stderr, "need %zu values\n", net.width());
-      return 2;
-    }
-    std::printf("%s\n",
-                format_sequence(comparator_output_counts(net, in)).c_str());
-    return 0;
-  }
+  if (cmd == "sort" && argc >= 3) return cmd_sort(net, argc, argv);
   return usage();
 }

@@ -1,0 +1,81 @@
+#include "engine/execution_plan.h"
+
+#include <cassert>
+
+#include "baseline/batcher.h"
+
+namespace scn {
+namespace {
+
+// Expands one wide comparator gate into compare-exchange pairs, appended to
+// `ce_wires`. We reuse the library's Batcher odd-even construction over the
+// gate's p positions — O(p log^2 p) CEs vs p(p-1)/2 for transposition — and
+// relabel positions to physical wires so no output permutation remains:
+// a sorting network sorts whatever values its cells hold, so mapping cell x
+// to wire ws[index_in_output_order(x)] makes the i-th largest value land on
+// listed wire i, the gate's descending convention, with zero extra moves.
+void expand_wide_gate(std::span<const Wire> ws, std::vector<Wire>& ce_wires) {
+  const auto p = ws.size();
+  NetworkBuilder positions(p);
+  std::vector<Wire> ident(p);
+  for (std::size_t i = 0; i < p; ++i) ident[i] = static_cast<Wire>(i);
+  std::vector<Wire> out_order = build_batcher_sort(positions, ident);
+  const Network sorter = std::move(positions).finish(std::move(out_order));
+  const auto out = sorter.output_order();
+  std::vector<Wire> cell_to_wire(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    cell_to_wire[static_cast<std::size_t>(out[i])] = ws[i];
+  }
+  for (const Gate& g : sorter.gates()) {
+    const auto cells = sorter.gate_wires(g);
+    assert(cells.size() == 2);
+    ce_wires.push_back(cell_to_wire[static_cast<std::size_t>(cells[0])]);
+    ce_wires.push_back(cell_to_wire[static_cast<std::size_t>(cells[1])]);
+  }
+}
+
+}  // namespace
+
+ExecutionPlan compile_plan(const Network& net) {
+  ExecutionPlan plan;
+  plan.width_ = net.width();
+  plan.gate_count_ = net.gate_count();
+  plan.output_order_.assign(net.output_order().begin(),
+                            net.output_order().end());
+  const auto by_layer = net.layers();
+  plan.layers_.reserve(by_layer.size());
+  for (const auto& layer_gates : by_layer) {
+    ExecutionPlan::Layer layer;
+    layer.pair_begin = static_cast<std::uint32_t>(plan.pair_wires_.size() / 2);
+    layer.wide_begin = static_cast<std::uint32_t>(plan.wide_gates_.size());
+    // Two passes keep each layer's pair table contiguous regardless of how
+    // pair and wide gates interleave in topological order.
+    for (const std::size_t gi : layer_gates) {
+      const auto ws = net.gate_wires(gi);
+      if (ws.size() == 2) {
+        plan.pair_wires_.push_back(ws[0]);
+        plan.pair_wires_.push_back(ws[1]);
+      }
+    }
+    layer.ce_begin = static_cast<std::uint32_t>(plan.ce_wires_.size() / 2);
+    for (const std::size_t gi : layer_gates) {
+      const auto ws = net.gate_wires(gi);
+      if (ws.size() == 2) continue;
+      assert(ws.size() > 2);  // width<2 gates are dropped by the builder
+      ExecutionPlan::WideGate wg;
+      wg.first = static_cast<std::uint32_t>(plan.wide_wires_.size());
+      wg.width = static_cast<std::uint32_t>(ws.size());
+      plan.wide_wires_.insert(plan.wide_wires_.end(), ws.begin(), ws.end());
+      plan.wide_gates_.push_back(wg);
+      if (wg.width > plan.max_wide_width_) plan.max_wide_width_ = wg.width;
+      expand_wide_gate(ws, plan.ce_wires_);
+    }
+    layer.pair_end = static_cast<std::uint32_t>(plan.pair_wires_.size() / 2);
+    layer.wide_end = static_cast<std::uint32_t>(plan.wide_gates_.size());
+    layer.ce_end = static_cast<std::uint32_t>(plan.ce_wires_.size() / 2);
+    plan.layers_.push_back(layer);
+  }
+  return plan;
+}
+
+}  // namespace scn

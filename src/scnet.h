@@ -25,6 +25,10 @@
 #include "core/two_merger.h"            // IWYU pragma: export
 #include "count/counting_tree.h"        // IWYU pragma: export
 #include "count/fetch_inc.h"            // IWYU pragma: export
+#include "engine/batch.h"               // IWYU pragma: export
+#include "engine/batch_engine.h"        // IWYU pragma: export
+#include "engine/execution_plan.h"      // IWYU pragma: export
+#include "engine/kernels.h"             // IWYU pragma: export
 #include "net/analyze.h"                // IWYU pragma: export
 #include "net/export.h"                 // IWYU pragma: export
 #include "net/linked_network.h"         // IWYU pragma: export
@@ -32,6 +36,7 @@
 #include "net/serialize.h"              // IWYU pragma: export
 #include "net/transform.h"              // IWYU pragma: export
 #include "perf/contention_model.h"      // IWYU pragma: export
+#include "perf/thread_pool.h"           // IWYU pragma: export
 #include "seq/generators.h"             // IWYU pragma: export
 #include "seq/matrix_layout.h"          // IWYU pragma: export
 #include "seq/sequence_props.h"         // IWYU pragma: export

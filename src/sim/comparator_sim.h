@@ -25,6 +25,14 @@ void apply_comparators(const Network& net, std::span<T> values,
   std::vector<T> buf;
   for (const Gate& g : net.gates()) {
     const auto ws = net.gate_wires(g);
+    if (ws.size() == 2) {
+      // 2-wire gates dominate sorting networks: compare-exchange in place,
+      // no gather buffer. Equivalent elements are left in place.
+      T& a = values[static_cast<std::size_t>(ws[0])];
+      T& b = values[static_cast<std::size_t>(ws[1])];
+      if (greater(b, a)) std::swap(a, b);
+      continue;
+    }
     buf.clear();
     for (const Wire w : ws) buf.push_back(values[static_cast<std::size_t>(w)]);
     std::sort(buf.begin(), buf.end(), greater);

@@ -1,11 +1,13 @@
 // Multithreaded counting verification.
 //
 // Verification sweeps are embarrassingly parallel across input vectors:
-// shard the (total, trial) grid over a thread pool, propagate counts
-// independently (count propagation is pure), and reduce verdicts. On a
-// many-core host this turns the heavy sweeps (wide networks, deep totals)
-// from minutes into seconds; results are bit-identical to the sequential
-// verifier by construction (same seeds per shard).
+// shard the (total, trial) grid over the shared scn::ThreadPool
+// (perf/thread_pool.h), propagate counts through a compiled ExecutionPlan
+// (engine/execution_plan.h), and reduce verdicts. On a many-core host this
+// turns the heavy sweeps (wide networks, deep totals) from minutes into
+// seconds; results are bit-identical to the sequential verifier by
+// construction (same seeds per shard, plan kernels bit-identical to the
+// interpreter).
 #pragma once
 
 #include "verify/counting_verify.h"
@@ -14,7 +16,7 @@ namespace scn {
 
 struct ParallelVerifyOptions {
   CountingVerifyOptions base;
-  std::size_t threads = 0;  ///< 0 => hardware_concurrency
+  std::size_t threads = 0;  ///< 0 => the shared pool; else a dedicated pool
 };
 
 /// Parallel equivalent of verify_counting: same input population (the

@@ -64,6 +64,34 @@ TEST(Cli, CountAppliesLoad) {
   EXPECT_NE(r.output.find("2 1 1 1"), std::string::npos);
 }
 
+TEST(Cli, SortPlanEngineMatchesInterpreter) {
+  const std::string build = kCli + " build K 2x2";
+  const auto interp = run_command(build + " | " + kCli + " sort 3,1,4,1");
+  const auto plan =
+      run_command(build + " | " + kCli + " sort --engine=plan 3,1,4,1");
+  EXPECT_EQ(interp.exit_code, 0);
+  EXPECT_EQ(plan.exit_code, 0);
+  EXPECT_EQ(interp.output, plan.output);
+  EXPECT_NE(plan.output.find("4 3 1 1"), std::string::npos);
+}
+
+TEST(Cli, SortBatchModeReportsThroughputAndCrossCheck) {
+  const auto r = run_command(kCli + " build K 4x4 | " + kCli +
+                             " sort --engine=plan --batch 500 --seed 7");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("sorted 500 vectors"), std::string::npos);
+  EXPECT_NE(r.output.find("cross-check vs interpreter: PASS"),
+            std::string::npos);
+}
+
+TEST(Cli, SortBatchRequiresPlanEngine) {
+  const auto r = run_command(kCli + " build K 2x2 | " + kCli +
+                             " sort --batch 10");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--batch requires --engine=plan"),
+            std::string::npos);
+}
+
 TEST(Cli, AnalyzeReportsStructure) {
   const auto r =
       run_command(kCli + " build R 4 4 | " + kCli + " analyze");

@@ -1,7 +1,8 @@
 // Cross-engine agreement matrix: for a grid of (network, load) pairs, the
 // quiescent outputs of every execution engine must coincide:
-//   count propagation == token sim (all policies) == manual router
-//   == concurrent threads == event sim.
+//   count propagation == compiled plan (scalar, batch, threaded batch)
+//   == token sim (all policies) == manual router == concurrent threads
+//   == event sim.
 // This is the strongest single guard against a divergence bug in any one
 // engine's balancer semantics.
 #include <gtest/gtest.h>
@@ -13,7 +14,11 @@
 #include "core/k_network.h"
 #include "core/l_network.h"
 #include "core/r_network.h"
+#include "engine/batch_engine.h"
+#include "engine/execution_plan.h"
+#include "perf/thread_pool.h"
 #include "seq/generators.h"
+#include "sim/comparator_sim.h"
 #include "sim/concurrent_sim.h"
 #include "sim/count_sim.h"
 #include "sim/event_sim.h"
@@ -40,6 +45,10 @@ TEST(EngineCrossCheck, AllEnginesAgreeOnQuiescentOutputs) {
       const auto in =
           random_count_vector(rng, net.width(), 9 + 13 * load);
       const auto expected = output_counts(net, in);
+
+      // Compiled plan: scalar count path.
+      const ExecutionPlan plan = compile_plan(net);
+      ASSERT_EQ(plan_output_counts(plan, in), expected) << "plan scalar";
 
       // Token simulator, every schedule policy.
       for (const SchedulePolicy policy : all_schedule_policies()) {
@@ -80,6 +89,46 @@ TEST(EngineCrossCheck, AllEnginesAgreeOnQuiescentOutputs) {
         }
         ASSERT_EQ(cn.output_counts(), expected) << "concurrent";
       }
+    }
+
+    // Compiled plan: batch and threaded-batch count paths, checked against
+    // the interpreter lane by lane.
+    {
+      const ExecutionPlan plan = compile_plan(net);
+      std::vector<std::vector<Count>> inputs;
+      std::vector<std::vector<Count>> expected_outs;
+      for (int j = 0; j < 150; ++j) {
+        inputs.push_back(random_count_vector(rng, net.width(), 5 + j));
+        expected_outs.push_back(output_counts(net, inputs.back()));
+      }
+      ASSERT_EQ(plan_count_batch(plan, inputs), expected_outs)
+          << "plan batch counts";
+      ThreadPool pool(3);
+      ASSERT_EQ(plan_count_batch(plan, inputs, &pool), expected_outs)
+          << "plan threaded batch counts";
+      ASSERT_EQ(plan_count_batch(plan, inputs, &ThreadPool::shared()),
+                expected_outs)
+          << "plan shared-pool batch counts";
+    }
+
+    // Compiled plan: comparator path (scalar, batch, threaded) against the
+    // per-gate interpreter.
+    {
+      const ExecutionPlan plan = compile_plan(net);
+      std::vector<std::vector<Count>> inputs;
+      std::vector<std::vector<Count>> expected_outs;
+      for (int j = 0; j < 150; ++j) {
+        inputs.push_back(random_count_vector(rng, net.width(), 40 + 3 * j));
+        expected_outs.push_back(comparator_output_counts(net, inputs.back()));
+        ASSERT_EQ(plan_comparator_output(plan, inputs.back()),
+                  expected_outs.back())
+            << "plan scalar sort";
+      }
+      ASSERT_EQ(plan_sort_batch(plan, inputs), expected_outs)
+          << "plan batch sort";
+      ThreadPool pool(3);
+      ASSERT_EQ(plan_sort_batch(plan, inputs, &pool), expected_outs)
+          << "plan threaded batch sort";
     }
 
     // Event simulator: loads are generated internally, so check the
