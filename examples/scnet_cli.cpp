@@ -13,6 +13,11 @@
 //   scnet_cli sort --engine=plan v0,...      same, via the compiled engine
 //   scnet_cli sort --engine=plan --batch N   sort N random vectors (SoA
 //                                            batch over the thread pool)
+//   scnet_cli sort --engine=plan --passes=aggressive ...  pick the pass
+//                                            pipeline level for the plan
+//   scnet_cli optimize [--passes=L] [--semantics=S] < net.scnet
+//                                            run the pass pipeline; stats to
+//                                            stderr, optimized net to stdout
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +39,8 @@
 #include "net/analyze.h"
 #include "net/export.h"
 #include "net/serialize.h"
+#include "opt/pass.h"
+#include "opt/plan_cache.h"
 #include "perf/contention_model.h"
 #include "perf/thread_pool.h"
 #include "seq/generators.h"
@@ -56,10 +63,12 @@ int usage() {
                "  scnet_cli build {batcher|bubble} <width>\n"
                "  scnet_cli {info|analyze|svg|verify|dot|ascii} < net.scnet\n"
                "  scnet_cli count <t0,t1,...> < net.scnet\n"
-               "  scnet_cli sort [--engine={interp|plan}] <v0,v1,...> "
-               "< net.scnet\n"
+               "  scnet_cli sort [--engine={interp|plan}] "
+               "[--passes={none|default|aggressive}] <v0,v1,...> < net.scnet\n"
                "  scnet_cli sort --engine=plan --batch <N> [--seed <s>] "
-               "< net.scnet\n");
+               "< net.scnet\n"
+               "  scnet_cli optimize [--passes={none|default|aggressive}] "
+               "[--semantics={comparator|balancer}] < net.scnet\n");
   return 2;
 }
 
@@ -134,11 +143,19 @@ int cmd_sort(const Network& net, int argc, char** argv) {
   std::string engine = "interp";
   std::size_t batch = 0;
   std::uint64_t seed = 42;
+  PassLevel passes = default_pass_level();
   std::string values_arg;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
       engine = arg.substr(9);
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      const auto parsed = parse_pass_level(arg.substr(9));
+      if (!parsed) {
+        std::fprintf(stderr, "unknown pass level '%s'\n", arg.c_str() + 9);
+        return 2;
+      }
+      passes = *parsed;
     } else if (arg == "--batch" && i + 1 < argc) {
       batch = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -155,6 +172,10 @@ int cmd_sort(const Network& net, int argc, char** argv) {
                  engine.c_str());
     return 2;
   }
+  const auto plan_for_net = [&] {
+    return compiled_plan(net, passes,
+                         PassOptions{.semantics = Semantics::kComparator});
+  };
 
   if (batch > 0) {
     // Batch demo/throughput mode: sort `batch` random vectors through the
@@ -164,7 +185,8 @@ int cmd_sort(const Network& net, int argc, char** argv) {
       std::fprintf(stderr, "--batch requires --engine=plan\n");
       return 2;
     }
-    const ExecutionPlan plan = compile_plan(net);
+    const CachedPlan cached = plan_for_net();
+    const ExecutionPlan& plan = *cached.plan;
     std::mt19937_64 rng(seed);
     std::vector<std::vector<Count>> inputs;
     inputs.reserve(batch);
@@ -194,9 +216,43 @@ int cmd_sort(const Network& net, int argc, char** argv) {
     return 2;
   }
   const std::vector<Count> out =
-      engine == "plan" ? plan_comparator_output(compile_plan(net), in)
+      engine == "plan" ? plan_comparator_output(*plan_for_net().plan, in)
                        : comparator_output_counts(net, in);
   std::printf("%s\n", format_sequence(out).c_str());
+  return 0;
+}
+
+int cmd_optimize(const Network& net, int argc, char** argv) {
+  PassLevel passes = default_pass_level();
+  PassOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--passes=", 0) == 0) {
+      const auto parsed = parse_pass_level(arg.substr(9));
+      if (!parsed) {
+        std::fprintf(stderr, "unknown pass level '%s'\n", arg.c_str() + 9);
+        return 2;
+      }
+      passes = *parsed;
+    } else if (arg == "--semantics=comparator") {
+      opts.semantics = Semantics::kComparator;
+    } else if (arg == "--semantics=balancer") {
+      opts.semantics = Semantics::kBalancer;
+    } else {
+      std::fprintf(stderr, "unknown optimize option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const PipelineResult result = optimize_network(net, passes, opts);
+  std::fprintf(stderr, "pipeline %s (%s semantics)\n%s", to_string(passes),
+               to_string(opts.semantics), result.summary().c_str());
+  std::fprintf(stderr,
+               "total: gates %zu -> %zu, depth %u -> %u, hash %016llx\n",
+               net.gate_count(), result.network.gate_count(), net.depth(),
+               result.network.depth(),
+               static_cast<unsigned long long>(
+                   structural_hash(result.network)));
+  std::fputs(serialize_network(result.network).c_str(), stdout);
   return 0;
 }
 
@@ -280,5 +336,6 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "sort" && argc >= 3) return cmd_sort(net, argc, argv);
+  if (cmd == "optimize") return cmd_optimize(net, argc, argv);
   return usage();
 }

@@ -4,7 +4,8 @@
 #include <cassert>
 
 #include "core/family.h"
-#include "sim/comparator_sim.h"
+#include "engine/batch_engine.h"
+#include "opt/plan_cache.h"
 
 namespace scn {
 namespace {
@@ -21,11 +22,18 @@ Sorter::Sorter(std::size_t width) : Sorter(width, Options{}) {}
 Sorter::Sorter(std::size_t width, Options options)
     : net_(width >= 2 ? pick_network(width, options.max_comparator,
                                      NetworkKind::kL)
-                      : NetworkBuilder(width).finish_identity()) {}
+                      : NetworkBuilder(width).finish_identity()),
+      plan_(compiled_plan(net_, default_pass_level(),
+                          PassOptions{.semantics = Semantics::kComparator})
+                .plan) {}
+
+const ExecutionPlan& Sorter::plan() const { return *plan_; }
 
 void Sorter::sort(std::span<Count> values) const {
   assert(values.size() == net_.width());
-  const std::vector<Count> out = network_sort_ascending(net_, values);
+  std::vector<Count> out = plan_comparator_output(*plan_, values);
+  // Plan output is descending in logical order; the API promises ascending.
+  std::reverse(out.begin(), out.end());
   std::copy(out.begin(), out.end(), values.begin());
 }
 

@@ -8,8 +8,11 @@
 //   counter.next();                    // concurrent Fetch&Inc
 //
 // The Sorter picks the factorization automatically (balanced factors near
-// the configured comparator budget) and caches the network; Counter wraps
-// NetworkCounter over the same choice machinery.
+// the configured comparator budget), runs the network through the pass
+// pipeline (opt/pass.h, level from SCNET_DEFAULT_PASSES) and caches the
+// compiled ExecutionPlan, so every sort() call rides the optimized
+// layer-scheduled kernels; Counter wraps NetworkCounter over the same
+// choice machinery.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +25,8 @@
 #include "seq/sequence_props.h"
 
 namespace scn {
+
+class ExecutionPlan;
 
 class Sorter {
  public:
@@ -36,7 +41,10 @@ class Sorter {
   Sorter(std::size_t width, Options options);
 
   [[nodiscard]] std::size_t width() const { return net_.width(); }
+  /// The network as constructed (pre-pipeline).
   [[nodiscard]] const Network& network() const { return net_; }
+  /// The pass-optimized compiled plan sort() executes.
+  [[nodiscard]] const ExecutionPlan& plan() const;
 
   /// Sorts exactly width() values ascending, in place.
   void sort(std::span<Count> values) const;
@@ -46,6 +54,7 @@ class Sorter {
 
  private:
   Network net_;
+  std::shared_ptr<const ExecutionPlan> plan_;
 };
 
 class Counter {

@@ -2,39 +2,12 @@
 
 #include <cassert>
 
-#include "baseline/batcher.h"
+// The wide-gate compare-exchange expansion is shared with the pass pipeline
+// (opt/passes.h ExpandWideGates) — one Batcher relabeling for both the
+// network-level rewrite and the plan's ce_wires table.
+#include "opt/expand.h"
 
 namespace scn {
-namespace {
-
-// Expands one wide comparator gate into compare-exchange pairs, appended to
-// `ce_wires`. We reuse the library's Batcher odd-even construction over the
-// gate's p positions — O(p log^2 p) CEs vs p(p-1)/2 for transposition — and
-// relabel positions to physical wires so no output permutation remains:
-// a sorting network sorts whatever values its cells hold, so mapping cell x
-// to wire ws[index_in_output_order(x)] makes the i-th largest value land on
-// listed wire i, the gate's descending convention, with zero extra moves.
-void expand_wide_gate(std::span<const Wire> ws, std::vector<Wire>& ce_wires) {
-  const auto p = ws.size();
-  NetworkBuilder positions(p);
-  std::vector<Wire> ident(p);
-  for (std::size_t i = 0; i < p; ++i) ident[i] = static_cast<Wire>(i);
-  std::vector<Wire> out_order = build_batcher_sort(positions, ident);
-  const Network sorter = std::move(positions).finish(std::move(out_order));
-  const auto out = sorter.output_order();
-  std::vector<Wire> cell_to_wire(p);
-  for (std::size_t i = 0; i < p; ++i) {
-    cell_to_wire[static_cast<std::size_t>(out[i])] = ws[i];
-  }
-  for (const Gate& g : sorter.gates()) {
-    const auto cells = sorter.gate_wires(g);
-    assert(cells.size() == 2);
-    ce_wires.push_back(cell_to_wire[static_cast<std::size_t>(cells[0])]);
-    ce_wires.push_back(cell_to_wire[static_cast<std::size_t>(cells[1])]);
-  }
-}
-
-}  // namespace
 
 ExecutionPlan compile_plan(const Network& net) {
   ExecutionPlan plan;
@@ -68,7 +41,7 @@ ExecutionPlan compile_plan(const Network& net) {
       plan.wide_wires_.insert(plan.wide_wires_.end(), ws.begin(), ws.end());
       plan.wide_gates_.push_back(wg);
       if (wg.width > plan.max_wide_width_) plan.max_wide_width_ = wg.width;
-      expand_wide_gate(ws, plan.ce_wires_);
+      append_wide_gate_ce(ws, plan.ce_wires_);
     }
     layer.pair_end = static_cast<std::uint32_t>(plan.pair_wires_.size() / 2);
     layer.wide_end = static_cast<std::uint32_t>(plan.wide_gates_.size());

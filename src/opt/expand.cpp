@@ -1,0 +1,30 @@
+#include "opt/expand.h"
+
+#include <cassert>
+
+#include "baseline/batcher.h"
+
+namespace scn {
+
+void append_wide_gate_ce(std::span<const Wire> ws,
+                         std::vector<Wire>& ce_pairs) {
+  const auto p = ws.size();
+  NetworkBuilder positions(p);
+  std::vector<Wire> ident(p);
+  for (std::size_t i = 0; i < p; ++i) ident[i] = static_cast<Wire>(i);
+  std::vector<Wire> out_order = build_batcher_sort(positions, ident);
+  const Network sorter = std::move(positions).finish(std::move(out_order));
+  const auto out = sorter.output_order();
+  std::vector<Wire> cell_to_wire(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    cell_to_wire[static_cast<std::size_t>(out[i])] = ws[i];
+  }
+  for (const Gate& g : sorter.gates()) {
+    const auto cells = sorter.gate_wires(g);
+    assert(cells.size() == 2);
+    ce_pairs.push_back(cell_to_wire[static_cast<std::size_t>(cells[0])]);
+    ce_pairs.push_back(cell_to_wire[static_cast<std::size_t>(cells[1])]);
+  }
+}
+
+}  // namespace scn

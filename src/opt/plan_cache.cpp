@@ -1,0 +1,165 @@
+#include "opt/plan_cache.h"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace scn {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  // Fold all eight bytes so wire ids and widths land in distinct states.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t structural_hash(const Network& net) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, net.width());
+  fnv_mix(h, net.gate_count());
+  for (const auto& layer : net.layers()) {
+    // Canonical within-layer order: gates in one ASAP layer touch disjoint
+    // wires, so minimum wire ids are distinct and sort stably.
+    std::vector<std::pair<Wire, std::size_t>> order;
+    order.reserve(layer.size());
+    for (const std::size_t gi : layer) {
+      const auto ws = net.gate_wires(gi);
+      order.emplace_back(*std::min_element(ws.begin(), ws.end()), gi);
+    }
+    std::sort(order.begin(), order.end());
+    fnv_mix(h, 0x4c41594552ull);  // layer separator
+    for (const auto& [min_wire, gi] : order) {
+      const auto ws = net.gate_wires(gi);
+      fnv_mix(h, ws.size());
+      for (const Wire w : ws) fnv_mix(h, static_cast<std::uint64_t>(w));
+    }
+  }
+  for (const Wire w : net.output_order()) {
+    fnv_mix(h, static_cast<std::uint64_t>(w));
+  }
+  return h;
+}
+
+namespace {
+
+struct Key {
+  std::uint64_t hash = 0;
+  std::uint64_t width = 0;
+  std::uint64_t gates = 0;
+  PassLevel level = PassLevel::kNone;
+  Semantics semantics = Semantics::kComparator;
+  std::uint64_t width_cap = 0;
+
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::uint64_t h = k.hash;
+    fnv_mix(h, k.width);
+    fnv_mix(h, k.gates);
+    fnv_mix(h, static_cast<std::uint64_t>(k.level));
+    fnv_mix(h, static_cast<std::uint64_t>(k.semantics));
+    fnv_mix(h, k.width_cap);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Entry {
+  Key key;
+  std::shared_ptr<const ExecutionPlan> plan;
+  std::shared_ptr<const std::vector<PassStats>> passes;
+};
+
+}  // namespace
+
+struct PlanCache::Impl {
+  mutable std::mutex mu;
+  std::size_t capacity;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  PlanCacheStats counters;
+
+  explicit Impl(std::size_t cap) : capacity(std::max<std::size_t>(1, cap)) {}
+};
+
+PlanCache::PlanCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>(capacity)) {}
+
+PlanCache::~PlanCache() = default;
+
+CachedPlan PlanCache::compiled(const Network& net, PassLevel level,
+                               const PassOptions& opts) {
+  Key key;
+  key.hash = structural_hash(net);
+  key.width = net.width();
+  key.gates = net.gate_count();
+  key.level = level;
+  key.semantics = opts.semantics;
+  key.width_cap = opts.zero_one_width_cap;
+
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (const auto it = impl_->index.find(key); it != impl_->index.end()) {
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    impl_->counters.hits += 1;
+    return {it->second->plan, it->second->passes, true};
+  }
+
+  // Miss: optimize + lower under the lock. Compilation is O(gates +
+  // endpoints); serializing it avoids duplicate work when many threads
+  // race for the same network, which is the common shape (one network,
+  // many evaluators).
+  impl_->counters.misses += 1;
+  PipelineResult optimized = optimize_network(net, level, opts);
+  Entry entry;
+  entry.key = key;
+  entry.plan = std::make_shared<const ExecutionPlan>(
+      compile_plan(optimized.network));
+  entry.passes = std::make_shared<const std::vector<PassStats>>(
+      std::move(optimized.passes));
+  impl_->lru.push_front(std::move(entry));
+  impl_->index[key] = impl_->lru.begin();
+  if (impl_->lru.size() > impl_->capacity) {
+    impl_->index.erase(impl_->lru.back().key);
+    impl_->lru.pop_back();
+    impl_->counters.evictions += 1;
+  }
+  const Entry& front = impl_->lru.front();
+  return {front.plan, front.passes, false};
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  PlanCacheStats out = impl_->counters;
+  out.entries = impl_->lru.size();
+  out.capacity = impl_->capacity;
+  return out;
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->counters = {};
+}
+
+PlanCache& PlanCache::shared() {
+  static PlanCache cache(64);
+  return cache;
+}
+
+CachedPlan compiled_plan(const Network& net, PassLevel level,
+                         const PassOptions& opts) {
+  return PlanCache::shared().compiled(net, level, opts);
+}
+
+}  // namespace scn

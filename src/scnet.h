@@ -35,6 +35,10 @@
 #include "net/network.h"                // IWYU pragma: export
 #include "net/serialize.h"              // IWYU pragma: export
 #include "net/transform.h"              // IWYU pragma: export
+#include "opt/expand.h"                 // IWYU pragma: export
+#include "opt/pass.h"                   // IWYU pragma: export
+#include "opt/passes.h"                 // IWYU pragma: export
+#include "opt/plan_cache.h"             // IWYU pragma: export
 #include "perf/contention_model.h"      // IWYU pragma: export
 #include "perf/thread_pool.h"           // IWYU pragma: export
 #include "seq/generators.h"             // IWYU pragma: export

@@ -1,5 +1,8 @@
 #include "sim/comparator_sim.h"
 
+#include "engine/batch_engine.h"
+#include "opt/plan_cache.h"
+
 namespace scn {
 
 std::vector<Count> comparator_output_counts(const Network& net,
@@ -9,7 +12,10 @@ std::vector<Count> comparator_output_counts(const Network& net,
 
 std::vector<Count> network_sort_ascending(const Network& net,
                                           std::span<const Count> values) {
-  std::vector<Count> out = comparator_output<Count>(net, values);
+  const CachedPlan cached = compiled_plan(
+      net, default_pass_level(),
+      PassOptions{.semantics = Semantics::kComparator});
+  std::vector<Count> out = plan_comparator_output(*cached.plan, values);
   std::reverse(out.begin(), out.end());
   return out;
 }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace scn {
@@ -40,14 +41,20 @@ struct SlicedCount {
   }
 };
 
-}  // namespace
+// Loads the 64-vector input chunk starting at global index `base` into
+// per-wire masks (bit t of masks[i] = wire i's value in vector base + t).
+void load_chunk(std::uint64_t base, std::span<const Word> pattern,
+                std::vector<Word>& masks) {
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    if (i < 6) {
+      masks[i] = pattern[i];
+    } else {
+      masks[i] = (base >> i) & 1u ? ~Word{0} : Word{0};
+    }
+  }
+}
 
-SortingVerdict fast_verify_sorting_exhaustive(const Network& net) {
-  const std::size_t w = net.width();
-  assert(w <= 26 && "exhaustive 0-1 check limited to 2^26 inputs");
-  SortingVerdict verdict;
-
-  // Low six input bits follow fixed patterns across a 64-vector chunk.
+std::array<Word, 6> low_bit_patterns() {
   std::array<Word, 6> pattern{};
   for (unsigned i = 0; i < 6; ++i) {
     Word m = 0;
@@ -56,6 +63,18 @@ SortingVerdict fast_verify_sorting_exhaustive(const Network& net) {
     }
     pattern[i] = m;
   }
+  return pattern;
+}
+
+}  // namespace
+
+SortingVerdict fast_verify_sorting_exhaustive(const Network& net) {
+  const std::size_t w = net.width();
+  assert(w <= 26 && "exhaustive 0-1 check limited to 2^26 inputs");
+  SortingVerdict verdict;
+
+  // Low six input bits follow fixed patterns across a 64-vector chunk.
+  const std::array<Word, 6> pattern = low_bit_patterns();
 
   const std::uint64_t total = std::uint64_t{1} << w;
   const std::uint64_t chunks = (total + 63) / 64;
@@ -66,13 +85,7 @@ SortingVerdict fast_verify_sorting_exhaustive(const Network& net) {
     const std::uint64_t valid =
         total - base >= 64 ? ~Word{0}
                            : (Word{1} << (total - base)) - 1;
-    for (std::size_t i = 0; i < w; ++i) {
-      if (i < 6) {
-        masks[i] = pattern[i];
-      } else {
-        masks[i] = (base >> i) & 1u ? ~Word{0} : Word{0};
-      }
-    }
+    load_chunk(base, pattern, masks);
     // Evaluate gates.
     for (const Gate& g : net.gates()) {
       const auto ws = net.gate_wires(g);
@@ -109,6 +122,46 @@ SortingVerdict fast_verify_sorting_exhaustive(const Network& net) {
     }
   }
   return verdict;
+}
+
+std::vector<bool> zero_one_noop_gates(const Network& net) {
+  const std::size_t w = net.width();
+  assert(w <= 26 && "exhaustive 0-1 sweep limited to 2^26 inputs");
+  std::vector<bool> noop(net.gate_count(), true);
+  if (net.gate_count() == 0) return noop;
+  std::size_t candidates = net.gate_count();
+
+  const std::array<Word, 6> pattern = low_bit_patterns();
+  const std::uint64_t total = std::uint64_t{1} << w;
+  const std::uint64_t chunks = (total + 63) / 64;
+  std::vector<Word> masks(w);
+  std::vector<Word> fresh;
+  // For w < 6 the extra lanes of the single chunk replay valid inputs
+  // (the low-bit patterns are periodic in 2^w), so a gate firing there
+  // also fires on the matching valid lane — no validity mask needed.
+  for (std::uint64_t chunk = 0; chunk < chunks && candidates > 0; ++chunk) {
+    load_chunk(chunk * 64, pattern, masks);
+    for (std::size_t gi = 0; gi < net.gate_count(); ++gi) {
+      const auto ws = net.gate_wires(gi);
+      SlicedCount count;
+      for (const Wire wire : ws) {
+        count.add_one_bit(masks[static_cast<std::size_t>(wire)]);
+      }
+      fresh.clear();
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        fresh.push_back(count.at_least(static_cast<unsigned>(i) + 1));
+      }
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        const auto wire = static_cast<std::size_t>(ws[i]);
+        if (noop[gi] && fresh[i] != masks[wire]) {
+          noop[gi] = false;
+          candidates -= 1;
+        }
+        masks[wire] = fresh[i];
+      }
+    }
+  }
+  return noop;
 }
 
 }  // namespace scn

@@ -6,6 +6,7 @@
 
 #include "engine/batch_engine.h"
 #include "engine/execution_plan.h"
+#include "opt/plan_cache.h"
 #include "perf/thread_pool.h"
 #include "seq/generators.h"
 
@@ -17,9 +18,13 @@ CountingVerdict verify_counting_parallel(const Network& net,
   const Count max_total = opts.base.max_total > 0
                               ? opts.base.max_total
                               : static_cast<Count>(3 * w + 7);
-  // Count propagation goes through the compiled plan: one lowering pass,
-  // then every input vector of the sweep rides the layer-scheduled kernels.
-  const ExecutionPlan plan = compile_plan(net);
+  // Count propagation goes through the pass pipeline and the shared plan
+  // cache under BALANCER semantics (comparator-only passes skip
+  // themselves), so repeated verifications of one network lower it once
+  // and every input vector rides the layer-scheduled kernels.
+  const CachedPlan cached = compiled_plan(
+      net, default_pass_level(), PassOptions{.semantics = Semantics::kBalancer});
+  const ExecutionPlan& plan = *cached.plan;
 
   std::mutex mu;
   CountingVerdict verdict;    // guarded by mu

@@ -106,6 +106,54 @@ TEST(Cli, SvgIsEmitted) {
   EXPECT_NE(r.output.find("<svg"), std::string::npos);
 }
 
+TEST(Cli, OptimizeReportsPassStatsAndKeepsMinimalNetworkIntact) {
+  // bubble(6) has no 0-1-redundant comparators, so the default pipeline
+  // keeps all 15 gates — but still reports per-pass provenance. (It sorts
+  // but does not count, so verify exits 1 exactly as for the raw network.)
+  // Subshell so the middle command's stderr (the pass stats) is captured
+  // alongside verify's stdout.
+  const auto r = run_command("( " + kCli + " build bubble 6 | " + kCli +
+                             " optimize | " + kCli + " verify )");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("relayer"), std::string::npos);
+  EXPECT_NE(r.output.find("zero-one-elim"), std::string::npos);
+  EXPECT_NE(r.output.find("total: gates 15 -> 15"), std::string::npos);
+  EXPECT_NE(r.output.find("sorting (0-1 exhaustive): PASS"),
+            std::string::npos);
+}
+
+TEST(Cli, OptimizeAggressiveExpandsWideGatesAndStillSorts) {
+  // Expansion is comparator-only (paper Fig. 3: a wide balancer is NOT a
+  // network of 2-balancers), so counting fails but sorting is preserved.
+  const auto r = run_command("( " + kCli + " build K 2x3 | " + kCli +
+                             " optimize --passes=aggressive | " + kCli +
+                             " verify )");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("expand-wide-gates"), std::string::npos);
+  EXPECT_NE(r.output.find("counting: FAIL"), std::string::npos);
+  EXPECT_NE(r.output.find("sorting (0-1 exhaustive): PASS"),
+            std::string::npos);
+}
+
+TEST(Cli, OptimizeBalancerSemanticsPreservesCounting) {
+  const auto r = run_command(kCli + " build K 2x3 | " + kCli +
+                             " optimize --semantics=balancer | " + kCli +
+                             " verify");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("counting: PASS"), std::string::npos);
+}
+
+TEST(Cli, SortAcceptsPassesFlag) {
+  const std::string build = kCli + " build batcher 8";
+  const auto plain = run_command(build + " | " + kCli + " sort 5,3,8,1,9,2,7,4");
+  const auto opt = run_command(build + " | " + kCli +
+                               " sort --engine=plan --passes=aggressive "
+                               "5,3,8,1,9,2,7,4");
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(opt.exit_code, 0) << opt.output;
+  EXPECT_EQ(plain.output, opt.output);
+}
+
 TEST(Cli, BadUsageExitsTwo) {
   EXPECT_EQ(run_command(kCli + " frobnicate < /dev/null").exit_code, 2);
   EXPECT_EQ(run_command(kCli + " build K 1x3").exit_code, 2);
