@@ -1,0 +1,204 @@
+// E-CONSTRUCT — construction throughput and the module cache.
+//
+// The Module IR interns every sub-network template (T, D, S, M, C, R) the
+// constructions instantiate, so building L(w) decomposes into one cold
+// template build per distinct parameterization plus flat gate stamping.
+// This harness measures, for L across widths:
+//
+//   imperative  SCNET_MODULE_CACHE=0 path: the original recursive build
+//   cold        interning enabled, cache cleared first: template builds +
+//               stamping (what the first construction in a process pays)
+//   warm        interning enabled, templates resident: pure stamping
+//
+// The preamble emits BENCH_construct.json and the process exits non-zero
+// if warm construction is not at least kMinWarmSpeedup x faster than the
+// imperative path at every width — CI runs this binary with
+// --benchmark_filter=^$ as a construction-time regression gate, mirroring
+// the bench_passes depth gate.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/factorization.h"
+#include "core/k_network.h"
+#include "core/l_network.h"
+#include "core/module.h"
+#include "net/serialize.h"
+
+namespace {
+
+using namespace scn;
+
+// Interning must never make construction slower; in practice warm builds
+// are an order of magnitude faster, so a shortfall below this factor means
+// the stamp path regressed.
+constexpr double kMinWarmSpeedup = 1.5;
+
+double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double best_time(const std::function<void()>& fn, int reps = 5) {
+  double best = time_once(fn);
+  for (int rep = 1; rep < reps; ++rep) best = std::min(best, time_once(fn));
+  return best;
+}
+
+struct Measurement {
+  std::string label;
+  std::size_t width = 0;
+  std::size_t gates = 0;
+  std::uint32_t depth = 0;
+  double imperative_s = 0;  // module cache disabled
+  double cold_s = 0;        // cache enabled, cleared before the build
+  double warm_s = 0;        // cache enabled, templates resident
+  std::size_t templates = 0;      // interned entries after a cold build
+  std::size_t template_bytes = 0;  // their storage footprint
+  bool identical = false;  // stamped output == imperative output
+};
+
+Measurement measure(const std::vector<std::size_t>& factors) {
+  Measurement m;
+  m.label = "L(" + format_factors(factors) + ")";
+
+  Network imperative_net;
+  {
+    ScopedModuleCacheToggle off(false);
+    imperative_net = make_l_network(factors);
+    m.imperative_s = best_time([&] {
+      benchmark::DoNotOptimize(make_l_network(factors));
+    });
+  }
+  m.width = imperative_net.width();
+  m.gates = imperative_net.gate_count();
+  m.depth = imperative_net.depth();
+
+  ScopedModuleCacheToggle on(true);
+  m.cold_s = best_time([&] {
+    ModuleCache::shared().clear();
+    benchmark::DoNotOptimize(make_l_network(factors));
+  });
+  ModuleCache::shared().clear();
+  const Network warm_net = make_l_network(factors);  // leave templates hot
+  const ModuleCacheStats stats = ModuleCache::shared().stats();
+  m.templates = stats.entries;
+  m.template_bytes = stats.bytes;
+  m.warm_s = best_time([&] {
+    benchmark::DoNotOptimize(make_l_network(factors));
+  });
+  m.identical =
+      serialize_network(warm_net) == serialize_network(imperative_net);
+  return m;
+}
+
+bool warm_ok(const Measurement& m) {
+  return m.identical && m.imperative_s >= kMinWarmSpeedup * m.warm_s;
+}
+
+void emit_report(const std::vector<Measurement>& ms) {
+  bench::print_header(
+      "E-CONSTRUCT  Module cache construction throughput",
+      "warm (stamped) builds of L(w) vs the imperative recursive path");
+  std::printf("%-12s %5s %6s %4s | %10s %10s %10s | %6s %9s | %6s\n",
+              "network", "w", "gates", "d", "imper (us)", "cold (us)",
+              "warm (us)", "tmpls", "bytes", "x");
+  bench::print_row_rule();
+  FILE* json = std::fopen("BENCH_construct.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"experiment\": \"module_cache_construction\",\n");
+    std::fprintf(json, "  \"min_warm_speedup\": %.1f,\n  \"results\": [\n",
+                 kMinWarmSpeedup);
+  }
+  bool all_pass = true;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    const bool pass = warm_ok(m);
+    all_pass = all_pass && pass;
+    const double speedup = m.imperative_s / m.warm_s;
+    std::printf(
+        "%-12s %5zu %6zu %4u | %10.1f %10.1f %10.1f | %6zu %9zu | %5.1fx %s\n",
+        m.label.c_str(), m.width, m.gates, m.depth, m.imperative_s * 1e6,
+        m.cold_s * 1e6, m.warm_s * 1e6, m.templates, m.template_bytes,
+        speedup, bench::mark(pass));
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "    {\"network\": \"%s\", \"width\": %zu, \"gates\": %zu, "
+          "\"depth\": %u, \"imperative_us\": %.2f, \"cold_us\": %.2f, "
+          "\"warm_us\": %.2f, \"templates\": %zu, \"template_bytes\": %zu, "
+          "\"warm_speedup\": %.2f, \"cold_overhead\": %.3f, "
+          "\"identical\": %s, \"pass\": %s}%s\n",
+          m.label.c_str(), m.width, m.gates, m.depth, m.imperative_s * 1e6,
+          m.cold_s * 1e6, m.warm_s * 1e6, m.templates, m.template_bytes,
+          speedup, m.cold_s / m.imperative_s, m.identical ? "true" : "false",
+          pass ? "true" : "false", i + 1 < ms.size() ? "," : "");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
+                 all_pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_construct.json\n");
+  }
+  std::printf("\n");
+}
+
+// --- google-benchmark timing loops -----------------------------------
+
+void BM_ConstructL720Warm(benchmark::State& state) {
+  ScopedModuleCacheToggle on(true);
+  (void)make_l_network({8, 9, 10});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_l_network({8, 9, 10}));
+  }
+}
+BENCHMARK(BM_ConstructL720Warm)->Unit(benchmark::kMillisecond);
+
+void BM_ConstructL720Imperative(benchmark::State& state) {
+  ScopedModuleCacheToggle off(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_l_network({8, 9, 10}));
+  }
+}
+BENCHMARK(BM_ConstructL720Imperative)->Unit(benchmark::kMillisecond);
+
+void BM_ConstructK64Warm(benchmark::State& state) {
+  ScopedModuleCacheToggle on(true);
+  (void)make_k_network({4, 4, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_k_network({4, 4, 4}));
+  }
+}
+BENCHMARK(BM_ConstructK64Warm)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Measurement> ms;
+  ms.push_back(measure({2, 3, 4}));    // w = 24
+  ms.push_back(measure({4, 4, 4}));    // w = 64
+  ms.push_back(measure({4, 5, 7}));    // w = 140
+  ms.push_back(measure({6, 8, 9}));    // w = 432
+  ms.push_back(measure({8, 9, 10}));   // w = 720
+  emit_report(ms);
+  bool all_ok = true;
+  for (const Measurement& m : ms) all_ok = all_ok && warm_ok(m);
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "CONSTRUCTION REGRESSION: warm (stamped) builds are not "
+                 "%.1fx faster than the imperative path, or outputs "
+                 "diverged\n",
+                 kMinWarmSpeedup);
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

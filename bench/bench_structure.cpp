@@ -1,13 +1,19 @@
 // Structural anatomy tables: per-layer profiles, wire utilization and
 // occupancy for the main constructions at width 64 — the data a hardware
-// or shared-memory deployment sizes against.
+// or shared-memory deployment sizes against — plus a construction-
+// throughput section (builds/sec through the module cache vs the
+// imperative path; bench_construct has the full sweep and the CI gate).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
 
 #include "baseline/batcher.h"
 #include "baseline/bitonic.h"
 #include "bench_common.h"
 #include "core/k_network.h"
 #include "core/l_network.h"
+#include "core/module.h"
 #include "net/analyze.h"
 
 namespace {
@@ -45,6 +51,47 @@ void print_table() {
   print_profile("batcher64", make_batcher_network(64));
 }
 
+double builds_per_second(const std::function<Network()>& build) {
+  // Time enough builds to clear clock resolution even for tiny widths.
+  constexpr int kReps = 50;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReps; ++i) benchmark::DoNotOptimize(build());
+  const auto t1 = std::chrono::steady_clock::now();
+  return kReps / std::chrono::duration<double>(t1 - t0).count();
+}
+
+void print_construction_throughput() {
+  bench::print_header("Construction throughput at width 64",
+                      "builds/sec: module-cache stamping vs the imperative "
+                      "path (SCNET_MODULE_CACHE=0)");
+  const struct {
+    const char* name;
+    std::function<Network()> build;
+  } rows[] = {
+      {"K(4x4x4)", [] { return make_k_network({4, 4, 4}); }},
+      {"K(2^6)", [] { return make_k_network({2, 2, 2, 2, 2, 2}); }},
+      {"L(4x4x4)", [] { return make_l_network({4, 4, 4}); }},
+  };
+  std::printf("%-12s %14s %14s %8s\n", "network", "stamped/s", "imperative/s",
+              "speedup");
+  bench::print_row_rule();
+  for (const auto& row : rows) {
+    double stamped = 0, imperative = 0;
+    {
+      ScopedModuleCacheToggle on(true);
+      (void)row.build();  // warm the shared cache
+      stamped = builds_per_second(row.build);
+    }
+    {
+      ScopedModuleCacheToggle off(false);
+      imperative = builds_per_second(row.build);
+    }
+    std::printf("%-12s %14.0f %14.0f %7.1fx\n", row.name, stamped, imperative,
+                stamped / imperative);
+  }
+  std::printf("\n");
+}
+
 void BM_Analyze(benchmark::State& state) {
   const Network net = make_l_network({4, 4, 4});
   for (auto _ : state) {
@@ -58,6 +105,7 @@ BENCHMARK(BM_Analyze);
 
 int main(int argc, char** argv) {
   print_table();
+  print_construction_throughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

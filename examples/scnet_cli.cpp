@@ -18,6 +18,10 @@
 //   scnet_cli optimize [--passes=L] [--semantics=S] < net.scnet
 //                                            run the pass pipeline; stats to
 //                                            stderr, optimized net to stdout
+//   scnet_cli build --stats K 2x3x5    also report construction time and
+//                                            module-cache counters on stderr
+//   scnet_cli optimize --stats < net.scnet   also report module-cache and
+//                                            plan-cache counters on stderr
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +30,7 @@
 #include <sstream>
 #include <string>
 
+#include "api/high_level.h"
 #include "baseline/batcher.h"
 #include "baseline/bitonic.h"
 #include "baseline/bubble.h"
@@ -57,8 +62,8 @@ using namespace scn;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  scnet_cli build {K|L} <p0xp1x...>\n"
-               "  scnet_cli build R <p> <q>\n"
+               "  scnet_cli build [--stats] {K|L} <p0xp1x...>\n"
+               "  scnet_cli build [--stats] R <p> <q>\n"
                "  scnet_cli build {bitonic|periodic} <width=2^k>\n"
                "  scnet_cli build {batcher|bubble} <width>\n"
                "  scnet_cli {info|analyze|svg|verify|dot|ascii} < net.scnet\n"
@@ -67,7 +72,8 @@ int usage() {
                "[--passes={none|default|aggressive}] <v0,v1,...> < net.scnet\n"
                "  scnet_cli sort --engine=plan --batch <N> [--seed <s>] "
                "< net.scnet\n"
-               "  scnet_cli optimize [--passes={none|default|aggressive}] "
+               "  scnet_cli optimize [--stats] "
+               "[--passes={none|default|aggressive}] "
                "[--semantics={comparator|balancer}] < net.scnet\n");
   return 2;
 }
@@ -102,12 +108,46 @@ std::size_t log2_exact(std::size_t w) {
   return k;
 }
 
+// The pinned one-report cache section shared by `build --stats` and
+// `optimize --stats` (cli_test locks the field names and order).
+void print_cache_stats() {
+  const CacheStatsReport s = cache_stats();
+  const std::uint64_t module_total = s.module_hits + s.module_misses;
+  std::fprintf(stderr,
+               "module-cache: hits %llu misses %llu entries %zu bytes %zu "
+               "hit-rate %.1f%%\n",
+               static_cast<unsigned long long>(s.module_hits),
+               static_cast<unsigned long long>(s.module_misses),
+               s.module_entries, s.module_bytes,
+               module_total == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(s.module_hits) /
+                         static_cast<double>(module_total));
+  std::fprintf(stderr,
+               "plan-cache: hits %llu misses %llu evictions %llu entries %zu "
+               "capacity %zu\n",
+               static_cast<unsigned long long>(s.plan_hits),
+               static_cast<unsigned long long>(s.plan_misses),
+               static_cast<unsigned long long>(s.plan_evictions),
+               s.plan_entries, s.plan_capacity);
+}
+
 int cmd_build(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string kind = argv[2];
+  bool stats = false;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string& kind = args[0];
+  const auto t0 = std::chrono::steady_clock::now();
   Network net;
   if (kind == "K" || kind == "L") {
-    const auto factors = parse_factors(argv[3]);
+    const auto factors = parse_factors(args[1]);
     for (const std::size_t f : factors) {
       if (f < 2) {
         std::fprintf(stderr, "factors must be >= 2\n");
@@ -116,24 +156,34 @@ int cmd_build(int argc, char** argv) {
     }
     net = kind == "K" ? make_k_network(factors) : make_l_network(factors);
   } else if (kind == "R") {
-    if (argc < 5) return usage();
-    const std::size_t p = std::strtoul(argv[3], nullptr, 10);
-    const std::size_t q = std::strtoul(argv[4], nullptr, 10);
+    if (args.size() < 3) return usage();
+    const std::size_t p = std::strtoul(args[1].c_str(), nullptr, 10);
+    const std::size_t q = std::strtoul(args[2].c_str(), nullptr, 10);
     if (p < 2 || q < 2) {
       std::fprintf(stderr, "R needs p, q >= 2\n");
       return 2;
     }
     net = make_r_network(p, q);
   } else if (kind == "bitonic") {
-    net = make_bitonic_network(log2_exact(std::strtoul(argv[3], nullptr, 10)));
+    net = make_bitonic_network(
+        log2_exact(std::strtoul(args[1].c_str(), nullptr, 10)));
   } else if (kind == "periodic") {
-    net = make_periodic_network(log2_exact(std::strtoul(argv[3], nullptr, 10)));
+    net = make_periodic_network(
+        log2_exact(std::strtoul(args[1].c_str(), nullptr, 10)));
   } else if (kind == "batcher") {
-    net = make_batcher_network(std::strtoul(argv[3], nullptr, 10));
+    net = make_batcher_network(std::strtoul(args[1].c_str(), nullptr, 10));
   } else if (kind == "bubble") {
-    net = make_bubble_network(std::strtoul(argv[3], nullptr, 10));
+    net = make_bubble_network(std::strtoul(args[1].c_str(), nullptr, 10));
   } else {
     return usage();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (stats) {
+    std::fprintf(
+        stderr, "build: %s width %zu gates %zu depth %u in %.3f ms\n",
+        kind.c_str(), net.width(), net.gate_count(), net.depth(),
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    print_cache_stats();
   }
   std::fputs(serialize_network(net).c_str(), stdout);
   return 0;
@@ -225,9 +275,12 @@ int cmd_sort(const Network& net, int argc, char** argv) {
 int cmd_optimize(const Network& net, int argc, char** argv) {
   PassLevel passes = default_pass_level();
   PassOptions opts;
+  bool stats = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--passes=", 0) == 0) {
+    if (arg == "--stats") {
+      stats = true;
+    } else if (arg.rfind("--passes=", 0) == 0) {
       const auto parsed = parse_pass_level(arg.substr(9));
       if (!parsed) {
         std::fprintf(stderr, "unknown pass level '%s'\n", arg.c_str() + 9);
@@ -252,6 +305,13 @@ int cmd_optimize(const Network& net, int argc, char** argv) {
                result.network.depth(),
                static_cast<unsigned long long>(
                    structural_hash(result.network)));
+  if (stats) {
+    // Route the same (network, pipeline) pair through the shared plan cache
+    // so the report reflects this invocation, then print the unified
+    // module-cache + plan-cache section.
+    (void)compiled_plan(net, passes, opts);
+    print_cache_stats();
+  }
   std::fputs(serialize_network(result.network).c_str(), stdout);
   return 0;
 }

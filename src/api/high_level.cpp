@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/family.h"
+#include "core/module.h"
 #include "engine/batch_engine.h"
 #include "opt/plan_cache.h"
 
@@ -16,6 +17,27 @@ Network pick_network(std::size_t width, std::size_t cap, NetworkKind kind) {
 }
 
 }  // namespace
+
+CacheStatsReport cache_stats() {
+  const ModuleCacheStats m = ModuleCache::shared().stats();
+  const PlanCacheStats p = PlanCache::shared().stats();
+  return CacheStatsReport{
+      .module_hits = m.hits,
+      .module_misses = m.misses,
+      .module_entries = m.entries,
+      .module_bytes = m.bytes,
+      .plan_hits = p.hits,
+      .plan_misses = p.misses,
+      .plan_evictions = p.evictions,
+      .plan_entries = p.entries,
+      .plan_capacity = p.capacity,
+  };
+}
+
+void clear_caches() {
+  ModuleCache::shared().clear();
+  PlanCache::shared().clear();
+}
 
 Sorter::Sorter(std::size_t width) : Sorter(width, Options{}) {}
 

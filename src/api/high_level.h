@@ -28,6 +28,31 @@ namespace scn {
 
 class ExecutionPlan;
 
+/// One snapshot of both process-wide caches: the module cache (interned
+/// construction templates stamped by the src/core builders) and the plan
+/// cache (compiled ExecutionPlans keyed on structural hash + pipeline).
+/// Mirrors ModuleCacheStats / PlanCacheStats as plain fields so this header
+/// stays free of the opt/ and core/ cache headers.
+struct CacheStatsReport {
+  std::uint64_t module_hits = 0;
+  std::uint64_t module_misses = 0;
+  std::size_t module_entries = 0;
+  std::size_t module_bytes = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t plan_evictions = 0;
+  std::size_t plan_entries = 0;
+  std::size_t plan_capacity = 0;
+};
+
+/// Stats for ModuleCache::shared() and PlanCache::shared() in one call.
+[[nodiscard]] CacheStatsReport cache_stats();
+
+/// Empties both shared caches and resets their counters. Plans or templates
+/// still referenced by callers stay alive (both caches hand out shared
+/// ownership); only the cached references are dropped.
+void clear_caches();
+
 class Sorter {
  public:
   struct Options {

@@ -1,0 +1,34 @@
+#include "core/base_factory.h"
+
+#include <cassert>
+
+#include "core/r_network.h"
+
+namespace scn {
+
+std::vector<Wire> BaseFactory::operator()(NetworkBuilder& builder,
+                                          std::span<const Wire> wires,
+                                          std::size_t p,
+                                          std::size_t q) const {
+  switch (kind_) {
+    case BaseKind::kSingleBalancer:
+      assert(wires.size() == p * q);
+      (void)p;
+      (void)q;
+      builder.add_balancer(wires);
+      return {wires.begin(), wires.end()};
+    case BaseKind::kRNetwork:
+      return build_r_network(builder, wires, p, q);
+    case BaseKind::kCustom:
+      return fn_(builder, wires, p, q);
+  }
+  return {wires.begin(), wires.end()};
+}
+
+BaseFactory single_balancer_base() {
+  return BaseFactory(BaseKind::kSingleBalancer);
+}
+
+BaseFactory r_network_base() { return BaseFactory(BaseKind::kRNetwork); }
+
+}  // namespace scn

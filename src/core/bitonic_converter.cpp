@@ -2,15 +2,17 @@
 
 #include <cassert>
 
+#include "core/module.h"
 #include "seq/matrix_layout.h"
 
 namespace scn {
+namespace {
 
-std::vector<Wire> build_bitonic_converter(NetworkBuilder& builder,
-                                          std::span<const Wire> x,
-                                          std::size_t p, std::size_t q) {
-  assert(p >= 1 && q >= 1);
-  assert(x.size() == p * q);
+/// The imperative D(p, q) body — the module template builder, and the
+/// direct path when interning is disabled.
+std::vector<Wire> bitonic_converter_cold(NetworkBuilder& builder,
+                                         std::span<const Wire> x,
+                                         std::size_t p, std::size_t q) {
   auto cell = [&](std::size_t row, std::size_t col) {
     return x[layout_index(Layout::kColumnMajor, p, q, row, col)];
   };
@@ -27,6 +29,27 @@ std::vector<Wire> build_bitonic_converter(NetworkBuilder& builder,
   std::vector<Wire> out(p * q);
   for (std::size_t k = 0; k < out.size(); ++k) out[k] = cell(k % p, k / p);
   return out;
+}
+
+}  // namespace
+
+std::vector<Wire> build_bitonic_converter(NetworkBuilder& builder,
+                                          std::span<const Wire> x,
+                                          std::size_t p, std::size_t q) {
+  assert(p >= 1 && q >= 1);
+  assert(x.size() == p * q);
+  if (!ModuleCache::shared().enabled()) {
+    return bitonic_converter_cold(builder, x, p, q);
+  }
+  const auto tmpl = ModuleCache::shared().intern(
+      ModuleKey{.kind = ModuleKind::kBitonicConverter, .params = {p, q}},
+      [&] {
+        NetworkBuilder b(p * q);
+        const std::vector<Wire> all = identity_order(p * q);
+        std::vector<Wire> out = bitonic_converter_cold(b, all, p, q);
+        return std::move(b).finish(std::move(out));
+      });
+  return builder.stamp(*tmpl, x);
 }
 
 Network make_bitonic_converter_network(std::size_t p, std::size_t q) {

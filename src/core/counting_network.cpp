@@ -4,19 +4,34 @@
 
 #include "core/factorization.h"
 #include "core/merger.h"
+#include "core/module.h"
 
 namespace scn {
+namespace {
 
-BaseFactory single_balancer_base() {
-  return [](NetworkBuilder& builder, std::span<const Wire> wires,
-            std::size_t p, std::size_t q) -> std::vector<Wire> {
-    assert(wires.size() == p * q);
-    (void)p;
-    (void)q;
-    builder.add_balancer(wires);
-    return {wires.begin(), wires.end()};
-  };
+/// The imperative C(p0..pn-1) induction (n >= 3) — the module template
+/// builder, and the direct path for custom bases or when interning is
+/// disabled. Sub-counters and the merger go through the public
+/// (module-cached) entry points.
+std::vector<Wire> counting_cold(NetworkBuilder& builder,
+                                std::span<const Wire> wires,
+                                std::span<const std::size_t> factors,
+                                const BaseFactory& base,
+                                StaircaseVariant variant) {
+  const std::size_t n = factors.size();
+  // p(n-1) copies of C(p0,...,p(n-2)) over consecutive chunks...
+  const std::size_t p_last = factors[n - 1];
+  const std::size_t chunk = wires.size() / p_last;
+  std::vector<std::vector<Wire>> ys(p_last);
+  for (std::size_t i = 0; i < p_last; ++i) {
+    const std::span<const Wire> sub = wires.subspan(i * chunk, chunk);
+    ys[i] = build_counting(builder, sub, factors.first(n - 1), base, variant);
+  }
+  // ...merged by M(p0,...,p(n-1)).
+  return build_merger(builder, ys, factors, base, variant);
 }
+
+}  // namespace
 
 std::vector<Wire> build_counting(NetworkBuilder& builder,
                                  std::span<const Wire> wires,
@@ -35,16 +50,21 @@ std::vector<Wire> build_counting(NetworkBuilder& builder,
     return base(builder, wires, factors[0], factors[1]);
   }
 
-  // p(n-1) copies of C(p0,...,p(n-2)) over consecutive chunks...
-  const std::size_t p_last = factors[n - 1];
-  const std::size_t chunk = wires.size() / p_last;
-  std::vector<std::vector<Wire>> ys(p_last);
-  for (std::size_t i = 0; i < p_last; ++i) {
-    const std::span<const Wire> sub = wires.subspan(i * chunk, chunk);
-    ys[i] = build_counting(builder, sub, factors.first(n - 1), base, variant);
+  if (!base.cacheable() || !ModuleCache::shared().enabled()) {
+    return counting_cold(builder, wires, factors, base, variant);
   }
-  // ...merged by M(p0,...,p(n-1)).
-  return build_merger(builder, ys, factors, base, variant);
+  ModuleKey key;
+  key.kind = ModuleKind::kCounting;
+  key.base = static_cast<std::uint8_t>(base.kind());
+  key.variant = static_cast<std::uint8_t>(variant);
+  key.params.assign(factors.begin(), factors.end());
+  const auto tmpl = ModuleCache::shared().intern(key, [&] {
+    NetworkBuilder b(wires.size());
+    const std::vector<Wire> all = identity_order(wires.size());
+    std::vector<Wire> out = counting_cold(b, all, factors, base, variant);
+    return std::move(b).finish(std::move(out));
+  });
+  return builder.stamp(*tmpl, wires);
 }
 
 Network make_counting_network(std::span<const std::size_t> factors,

@@ -49,6 +49,9 @@ FamilyMember make_family_member(std::span<const std::size_t> factors,
 
 std::vector<FamilyMember> enumerate_family(std::size_t w, NetworkKind kind,
                                            std::size_t limit) {
+  // Each member's build is a module-cache stamp after its first
+  // construction (core/module.h), so enumerating a family re-costs only
+  // the factorizations not yet interned this process.
   std::vector<FamilyMember> out;
   for (const auto& factors : all_factorizations(w, 2, limit)) {
     out.push_back(make_family_member(factors, kind));

@@ -7,6 +7,10 @@
 
 namespace scn {
 
+// K is the generic C construction over the single-balancer base:
+// build_counting interns the whole C(factors) template through the module
+// cache, so every K instantiation after the first (per factorization) is a
+// single stamp of the interned gate stream.
 std::vector<Wire> build_k_network(NetworkBuilder& builder,
                                   std::span<const Wire> wires,
                                   std::span<const std::size_t> factors) {

@@ -4,16 +4,14 @@
 
 #include "core/counting_network.h"
 #include "core/factorization.h"
-#include "core/r_network.h"
 
 namespace scn {
 
-BaseFactory r_network_base() {
-  return [](NetworkBuilder& builder, std::span<const Wire> wires,
-            std::size_t p, std::size_t q) -> std::vector<Wire> {
-    return build_r_network(builder, wires, p, q);
-  };
-}
+// L is the generic C construction over the R base: build_counting interns
+// the whole C(factors) template (and, transitively, every S/T/D/R
+// sub-module) through the module cache, so repeated L instantiations of
+// the same factorization are a single stamp. r_network_base() itself lives
+// in core/base_factory.cpp with the other known base kinds.
 
 std::vector<Wire> build_l_network(NetworkBuilder& builder,
                                   std::span<const Wire> wires,

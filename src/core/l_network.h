@@ -14,9 +14,8 @@
 
 namespace scn {
 
-/// The BaseFactory emitting R(p, q) — exposed so tests can instantiate the
-/// generic C construction with it directly.
-[[nodiscard]] BaseFactory r_network_base();
+// (r_network_base() — the BaseFactory emitting R(p, q) — is declared in
+// core/base_factory.h alongside single_balancer_base().)
 
 /// Builds L(factors) over the logical input order `wires`.
 [[nodiscard]] std::vector<Wire> build_l_network(NetworkBuilder& builder,

@@ -3,33 +3,23 @@
 #include <cassert>
 
 #include "core/factorization.h"
+#include "core/module.h"
 #include "seq/sequence_props.h"
 
 namespace scn {
+namespace {
 
-std::vector<Wire> build_merger(NetworkBuilder& builder,
-                               std::span<const std::vector<Wire>> inputs,
-                               std::span<const std::size_t> factors,
-                               const BaseFactory& base,
-                               StaircaseVariant variant) {
+/// The imperative M(p0..pn-1) induction (n >= 3) — the module template
+/// builder, and the direct path for custom bases or when interning is
+/// disabled. Recursive sub-mergers and the staircase combiner go through
+/// the public (module-cached) entry points.
+std::vector<Wire> merger_cold(NetworkBuilder& builder,
+                              std::span<const std::vector<Wire>> inputs,
+                              std::span<const std::size_t> factors,
+                              const BaseFactory& base,
+                              StaircaseVariant variant) {
   const std::size_t n = factors.size();
-  assert(n >= 2);
   const std::size_t p_last = factors[n - 1];
-  assert(inputs.size() == p_last);
-  const std::size_t in_len = product(factors.first(n - 1));
-  for (const auto& in : inputs) {
-    assert(in.size() == in_len);
-    (void)in;
-  }
-  (void)in_len;
-
-  if (n == 2) {
-    // M(p0, p1) = C(p0, p1) on the concatenated inputs.
-    std::vector<Wire> all;
-    all.reserve(factors[0] * p_last);
-    for (const auto& in : inputs) all.insert(all.end(), in.begin(), in.end());
-    return base(builder, all, factors[0], p_last);
-  }
 
   // Recurse on (p0, ..., p(n-3), p(n-1)): p(n-2) copies, copy i fed the
   // stride subsequences X_j[i, p(n-2)].
@@ -49,6 +39,61 @@ std::vector<Wire> build_merger(NetworkBuilder& builder,
   // S(w(n-3), p(n-1), p(n-2)) combines the staircase family Y_0..Y_{p(n-2)-1}.
   const std::size_t r = product(factors.first(n - 2));  // w(n-3)
   return build_staircase_merger(builder, ys, r, p_last, p_n2, base, variant);
+}
+
+}  // namespace
+
+std::vector<Wire> build_merger(NetworkBuilder& builder,
+                               std::span<const std::vector<Wire>> inputs,
+                               std::span<const std::size_t> factors,
+                               const BaseFactory& base,
+                               StaircaseVariant variant) {
+  const std::size_t n = factors.size();
+  assert(n >= 2);
+  const std::size_t p_last = factors[n - 1];
+  assert(inputs.size() == p_last);
+  const std::size_t in_len = product(factors.first(n - 1));
+  for (const auto& in : inputs) {
+    assert(in.size() == in_len);
+    (void)in;
+  }
+  (void)in_len;
+
+  if (n == 2) {
+    // M(p0, p1) = C(p0, p1) on the concatenated inputs (the base interns
+    // its own template when it is an R network).
+    std::vector<Wire> all;
+    all.reserve(factors[0] * p_last);
+    for (const auto& in : inputs) all.insert(all.end(), in.begin(), in.end());
+    return base(builder, all, factors[0], p_last);
+  }
+
+  if (!base.cacheable() || !ModuleCache::shared().enabled()) {
+    return merger_cold(builder, inputs, factors, base, variant);
+  }
+  // Canonical template: input i on wires [i*in_len, (i+1)*in_len) in order.
+  const std::size_t width = product(factors);
+  ModuleKey key;
+  key.kind = ModuleKind::kMerger;
+  key.base = static_cast<std::uint8_t>(base.kind());
+  key.variant = static_cast<std::uint8_t>(variant);
+  key.params.assign(factors.begin(), factors.end());
+  const auto tmpl = ModuleCache::shared().intern(key, [&] {
+    NetworkBuilder b(width);
+    std::vector<std::vector<Wire>> canonical(p_last);
+    for (std::size_t i = 0; i < p_last; ++i) {
+      canonical[i].resize(in_len);
+      for (std::size_t j = 0; j < in_len; ++j) {
+        canonical[i][j] = static_cast<Wire>(i * in_len + j);
+      }
+    }
+    std::vector<Wire> out = merger_cold(b, canonical, factors, base, variant);
+    return std::move(b).finish(std::move(out));
+  });
+  std::vector<Wire> concat;
+  concat.reserve(width);
+  for (const auto& in : inputs) concat.insert(concat.end(), in.begin(), in.end());
+  return builder.stamp(*tmpl, concat);
 }
 
 Network make_merger_network(std::span<const std::size_t> factors,

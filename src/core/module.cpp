@@ -1,0 +1,128 @@
+#include "core/module.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "opt/fnv.h"
+
+namespace scn {
+
+const char* to_string(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kTwoMerger:
+      return "T";
+    case ModuleKind::kTwoMergerCapped:
+      return "Tc";
+    case ModuleKind::kBitonicConverter:
+      return "D";
+    case ModuleKind::kStaircaseMerger:
+      return "S";
+    case ModuleKind::kMerger:
+      return "M";
+    case ModuleKind::kCounting:
+      return "C";
+    case ModuleKind::kRNetwork:
+      return "R";
+  }
+  return "?";
+}
+
+std::size_t network_storage_bytes(const Network& net) {
+  return net.gate_count() * sizeof(Gate) +
+         net.wire_endpoint_count() * sizeof(Wire) +
+         net.width() * (2 * sizeof(Wire) + sizeof(std::size_t));
+}
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const ModuleKey& k) const {
+    std::uint64_t h = fnv::kOffset;
+    fnv::mix(h, static_cast<std::uint64_t>(k.kind));
+    fnv::mix(h, static_cast<std::uint64_t>(k.base));
+    fnv::mix(h, static_cast<std::uint64_t>(k.variant));
+    fnv::mix(h, k.params.size());
+    for (const std::size_t p : k.params) fnv::mix(h, p);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+bool enabled_from_env() {
+  const char* v = std::getenv("SCNET_MODULE_CACHE");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+}  // namespace
+
+struct ModuleCache::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<ModuleKey, std::shared_ptr<const Network>, KeyHash> table;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t bytes = 0;
+  std::atomic<bool> enabled{true};
+};
+
+ModuleCache::ModuleCache() : impl_(std::make_unique<Impl>()) {}
+
+ModuleCache::~ModuleCache() = default;
+
+std::shared_ptr<const Network> ModuleCache::intern(
+    const ModuleKey& key, const std::function<Network()>& build) {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (const auto it = impl_->table.find(key); it != impl_->table.end()) {
+      impl_->hits += 1;
+      return it->second;
+    }
+    impl_->misses += 1;
+  }
+  // Build outside the lock: template construction recursively interns
+  // sub-modules through this same cache.
+  auto built = std::make_shared<const Network>(build());
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto [it, inserted] = impl_->table.emplace(key, std::move(built));
+  if (inserted) impl_->bytes += network_storage_bytes(*it->second);
+  return it->second;
+}
+
+bool ModuleCache::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void ModuleCache::set_enabled(bool enabled) {
+  impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ModuleCacheStats ModuleCache::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  ModuleCacheStats out;
+  out.hits = impl_->hits;
+  out.misses = impl_->misses;
+  out.entries = impl_->table.size();
+  out.bytes = impl_->bytes;
+  return out;
+}
+
+void ModuleCache::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->table.clear();
+  impl_->hits = 0;
+  impl_->misses = 0;
+  impl_->bytes = 0;
+}
+
+ModuleCache& ModuleCache::shared() {
+  static ModuleCache* cache = [] {
+    auto* c = new ModuleCache();
+    c->set_enabled(enabled_from_env());
+    return c;
+  }();
+  return *cache;
+}
+
+}  // namespace scn

@@ -1,0 +1,123 @@
+// Module IR for the construction layer.
+//
+// The paper's constructions are deeply self-similar: M(p0..pn-1)
+// instantiates staircase-mergers S(r, p, q), which instantiate T and D
+// blocks, and L stamps an R(p, q) base at every induction site. Building
+// L(w) gate by gate therefore re-derives thousands of structurally
+// identical sub-networks. A *Module* is a parameter-keyed description of
+// one such sub-network: the first instantiation builds a canonical-wire
+// template Network (inputs on wires 0..len-1 in logical order) and interns
+// it here; every later instantiation is a NetworkBuilder::stamp — a flat
+// splice of the template's gates relocated through the caller's logical
+// wire span, O(gates copied) instead of O(recursive rebuild).
+//
+// Relocation is exact: every constructor in src/core/ is equivariant under
+// wire relabeling (they route wires by *position*, never by id), so
+// stamp(template, wires) emits gate-for-gate the sequence the recursive
+// build would have emitted — the module_golden_test locks this against
+// pre-IR serializations.
+//
+// The interning table is keyed by (module kind, base kind, staircase
+// variant, integer params) and hashed with the same FNV discipline as the
+// plan cache (opt/fnv.h). Templates are immutable and shared_ptr-held, so
+// concurrent builders can stamp from the same template without copies.
+// Set SCNET_MODULE_CACHE=0 (or set_enabled(false)) to disable interning
+// and fall back to the original imperative construction path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+enum class ModuleKind : std::uint8_t {
+  kTwoMerger,         ///< T(p, q0, q1)            params {p, q0, q1}
+  kTwoMergerCapped,   ///< capped T(p, q, q)       params {p, q0, q1}
+  kBitonicConverter,  ///< D(p, q)                 params {p, q}
+  kStaircaseMerger,   ///< S(r, p, q)              params {r, p, q}
+  kMerger,            ///< M(p0..pn-1)             params {p0..pn-1}
+  kCounting,          ///< C(p0..pn-1)             params {p0..pn-1}
+  kRNetwork,          ///< R(p, q)                 params {p, q}
+};
+
+[[nodiscard]] const char* to_string(ModuleKind kind);
+
+/// Identity of one construction module. `base` and `variant` are the raw
+/// enum values of BaseKind / StaircaseVariant for the base-parameterized
+/// kinds (kStaircaseMerger, kMerger, kCounting) and 0 elsewhere.
+struct ModuleKey {
+  ModuleKind kind = ModuleKind::kTwoMerger;
+  std::uint8_t base = 0;
+  std::uint8_t variant = 0;
+  std::vector<std::size_t> params;
+
+  bool operator==(const ModuleKey&) const = default;
+};
+
+struct ModuleCacheStats {
+  std::uint64_t hits = 0;    ///< instantiations served by stamping
+  std::uint64_t misses = 0;  ///< template builds
+  std::size_t entries = 0;   ///< interned templates
+  std::size_t bytes = 0;     ///< approximate template storage footprint
+};
+
+/// Approximate heap footprint of a network's gate/wire storage (the number
+/// the module cache's `bytes` counter accumulates).
+[[nodiscard]] std::size_t network_storage_bytes(const Network& net);
+
+/// Process-wide interning table of construction templates.
+class ModuleCache {
+ public:
+  ModuleCache();
+  ~ModuleCache();
+
+  ModuleCache(const ModuleCache&) = delete;
+  ModuleCache& operator=(const ModuleCache&) = delete;
+
+  /// Returns the template for `key`, invoking `build` to produce it on the
+  /// first request. Thread-safe; `build` runs outside the cache lock (it
+  /// recursively interns sub-modules), and a racing duplicate build keeps
+  /// the first-inserted template.
+  [[nodiscard]] std::shared_ptr<const Network> intern(
+      const ModuleKey& key, const std::function<Network()>& build);
+
+  /// Interning toggle. Constructors consult this to pick the stamped vs
+  /// imperative path; defaults to the SCNET_MODULE_CACHE env var (any value
+  /// but "0" enables) for the shared() instance, true otherwise.
+  [[nodiscard]] bool enabled() const;
+  void set_enabled(bool enabled);
+
+  [[nodiscard]] ModuleCacheStats stats() const;
+  void clear();
+
+  /// The process-wide cache every src/core/ constructor routes through.
+  static ModuleCache& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// RAII guard flipping the shared cache's enabled flag (tests exercise the
+/// imperative path in-process with this).
+class ScopedModuleCacheToggle {
+ public:
+  explicit ScopedModuleCacheToggle(bool enabled)
+      : previous_(ModuleCache::shared().enabled()) {
+    ModuleCache::shared().set_enabled(enabled);
+  }
+  ~ScopedModuleCacheToggle() {
+    ModuleCache::shared().set_enabled(previous_);
+  }
+  ScopedModuleCacheToggle(const ScopedModuleCacheToggle&) = delete;
+  ScopedModuleCacheToggle& operator=(const ScopedModuleCacheToggle&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace scn

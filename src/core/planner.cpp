@@ -13,6 +13,10 @@ namespace scn {
 
 std::vector<Plan> plan_candidates(const PlanRequirements& req) {
   assert(req.width >= 2);
+  // Candidate enumeration builds every K/L member it scores. Those builds
+  // route through the module cache (core/module.h): distinct factorizations
+  // miss once each, but the shared sub-modules (R(p, q), S, T, D) intern
+  // across candidates, so a planner sweep is mostly stamping.
   std::vector<Plan> plans;
   const auto factorizations =
       all_factorizations(req.width, 2, req.max_candidates);

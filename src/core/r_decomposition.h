@@ -1,6 +1,11 @@
 // Introspection of the R(p, q) quadrant decomposition (§5.3): the split
 // parameters and quadrant shapes, exposed so tests, docs and tools can
 // reason about the construction without re-deriving it.
+//
+// In Module IR terms (core/module.h) this is the *key schema* of the
+// kRNetwork module: (p, q) fully determines the interned R template, and
+// the quadrant shapes here describe exactly the sub-structure that
+// template froze at first construction.
 #pragma once
 
 #include <cstddef>

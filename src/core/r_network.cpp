@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/k_network.h"
+#include "core/module.h"
 #include "core/two_merger.h"
 
 namespace scn {
@@ -69,20 +70,11 @@ std::vector<Wire> step_d(NetworkBuilder& builder, std::span<const Wire> region,
   return merge2(builder, d01, d23, rq);
 }
 
-}  // namespace
-
-std::size_t integer_sqrt(std::size_t x) {
-  auto r = static_cast<std::size_t>(std::sqrt(static_cast<double>(x)));
-  while (r * r > x) --r;
-  while ((r + 1) * (r + 1) <= x) ++r;
-  return r;
-}
-
-std::vector<Wire> build_r_network(NetworkBuilder& builder,
-                                  std::span<const Wire> wires, std::size_t p,
-                                  std::size_t q) {
-  assert(p >= 2 && q >= 2);
-  assert(wires.size() == p * q);
+/// The imperative R(p, q) quadrant construction — the module template
+/// builder, and the direct path when interning is disabled.
+std::vector<Wire> r_network_cold(NetworkBuilder& builder,
+                                 std::span<const Wire> wires, std::size_t p,
+                                 std::size_t q) {
   const std::size_t hp = integer_sqrt(p), rp = p - hp * hp;
   const std::size_t hq = integer_sqrt(q), rq = q - hq * hq;
 
@@ -114,6 +106,33 @@ std::vector<Wire> build_r_network(NetworkBuilder& builder,
   const std::vector<Wire> ab = merge2(builder, a_step, b_step, hp * hp);
   const std::vector<Wire> cd = merge2(builder, c_step, d_step, rp);
   return merge2(builder, ab, cd, q);
+}
+
+}  // namespace
+
+std::size_t integer_sqrt(std::size_t x) {
+  auto r = static_cast<std::size_t>(std::sqrt(static_cast<double>(x)));
+  while (r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+std::vector<Wire> build_r_network(NetworkBuilder& builder,
+                                  std::span<const Wire> wires, std::size_t p,
+                                  std::size_t q) {
+  assert(p >= 2 && q >= 2);
+  assert(wires.size() == p * q);
+  if (!ModuleCache::shared().enabled()) {
+    return r_network_cold(builder, wires, p, q);
+  }
+  const auto tmpl = ModuleCache::shared().intern(
+      ModuleKey{.kind = ModuleKind::kRNetwork, .params = {p, q}}, [&] {
+        NetworkBuilder b(p * q);
+        const std::vector<Wire> all = identity_order(p * q);
+        std::vector<Wire> out = r_network_cold(b, all, p, q);
+        return std::move(b).finish(std::move(out));
+      });
+  return builder.stamp(*tmpl, wires);
 }
 
 Network make_r_network(std::size_t p, std::size_t q) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/bitonic_converter.h"
+#include "core/module.h"
 #include "core/two_merger.h"
 
 namespace scn {
@@ -39,51 +40,12 @@ void merge_blocks(NetworkBuilder& builder, Blocks& blocks, std::size_t lo,
   blocks[hi].assign(merged.begin() + static_cast<long>(half), merged.end());
 }
 
-}  // namespace
-
-const char* to_string(StaircaseVariant v) {
-  switch (v) {
-    case StaircaseVariant::kTwoMerger:
-      return "two-merger";
-    case StaircaseVariant::kTwoMergerCapped:
-      return "two-merger-capped";
-    case StaircaseVariant::kRebalanceCount:
-      return "rebalance-count";
-    case StaircaseVariant::kRebalanceBitonic:
-      return "rebalance-bitonic";
-  }
-  return "?";
-}
-
-std::size_t staircase_depth_formula(StaircaseVariant v, std::size_t d,
-                                    std::size_t r) {
-  // Two-merger layers: even pairs + odd pairs, plus the extra wrap layer
-  // when r is odd. Each T is depth 2 (3 when capped).
-  const std::size_t t_layers = (r % 2 == 1) ? 3 : 2;
-  switch (v) {
-    case StaircaseVariant::kTwoMerger:
-      return d + 2 * t_layers;  // <= d + 6 (paper)
-    case StaircaseVariant::kTwoMergerCapped:
-      return d + 3 * t_layers;  // <= d + 9 (paper)
-    case StaircaseVariant::kRebalanceCount:
-      return 2 * d + 1;
-    case StaircaseVariant::kRebalanceBitonic:
-      return d + 3;
-  }
-  return 0;
-}
-
-std::vector<Wire> build_staircase_merger(NetworkBuilder& builder,
-                                         std::span<const std::vector<Wire>> inputs,
-                                         std::size_t r, std::size_t p,
-                                         std::size_t q, const BaseFactory& base,
-                                         StaircaseVariant variant) {
-  assert(r >= 2 && p >= 2 && q >= 2);
-  assert(inputs.size() == q);
-  for (const auto& in : inputs) {
-    assert(in.size() == r * p);
-    (void)in;
-  }
+/// The imperative S(r, p, q) body — the module template builder, and the
+/// direct path for custom bases or when interning is disabled.
+std::vector<Wire> staircase_merger_cold(
+    NetworkBuilder& builder, std::span<const std::vector<Wire>> inputs,
+    std::size_t r, std::size_t p, std::size_t q, const BaseFactory& base,
+    StaircaseVariant variant) {
   const std::size_t pq = p * q;
   Blocks blocks = initial_blocks(inputs, r, p, q);
 
@@ -155,6 +117,80 @@ std::vector<Wire> build_staircase_merger(NetworkBuilder& builder,
   out.reserve(r * pq);
   for (const auto& blk : blocks) out.insert(out.end(), blk.begin(), blk.end());
   return out;
+}
+
+}  // namespace
+
+const char* to_string(StaircaseVariant v) {
+  switch (v) {
+    case StaircaseVariant::kTwoMerger:
+      return "two-merger";
+    case StaircaseVariant::kTwoMergerCapped:
+      return "two-merger-capped";
+    case StaircaseVariant::kRebalanceCount:
+      return "rebalance-count";
+    case StaircaseVariant::kRebalanceBitonic:
+      return "rebalance-bitonic";
+  }
+  return "?";
+}
+
+std::size_t staircase_depth_formula(StaircaseVariant v, std::size_t d,
+                                    std::size_t r) {
+  // Two-merger layers: even pairs + odd pairs, plus the extra wrap layer
+  // when r is odd. Each T is depth 2 (3 when capped).
+  const std::size_t t_layers = (r % 2 == 1) ? 3 : 2;
+  switch (v) {
+    case StaircaseVariant::kTwoMerger:
+      return d + 2 * t_layers;  // <= d + 6 (paper)
+    case StaircaseVariant::kTwoMergerCapped:
+      return d + 3 * t_layers;  // <= d + 9 (paper)
+    case StaircaseVariant::kRebalanceCount:
+      return 2 * d + 1;
+    case StaircaseVariant::kRebalanceBitonic:
+      return d + 3;
+  }
+  return 0;
+}
+
+std::vector<Wire> build_staircase_merger(NetworkBuilder& builder,
+                                         std::span<const std::vector<Wire>> inputs,
+                                         std::size_t r, std::size_t p,
+                                         std::size_t q, const BaseFactory& base,
+                                         StaircaseVariant variant) {
+  assert(r >= 2 && p >= 2 && q >= 2);
+  assert(inputs.size() == q);
+  for (const auto& in : inputs) {
+    assert(in.size() == r * p);
+    (void)in;
+  }
+  if (!base.cacheable() || !ModuleCache::shared().enabled()) {
+    return staircase_merger_cold(builder, inputs, r, p, q, base, variant);
+  }
+  // Canonical template: input i on wires [i*r*p, (i+1)*r*p) in order.
+  const std::size_t width = r * p * q;
+  ModuleKey key;
+  key.kind = ModuleKind::kStaircaseMerger;
+  key.base = static_cast<std::uint8_t>(base.kind());
+  key.variant = static_cast<std::uint8_t>(variant);
+  key.params = {r, p, q};
+  const auto tmpl = ModuleCache::shared().intern(key, [&] {
+    NetworkBuilder b(width);
+    std::vector<std::vector<Wire>> canonical(q);
+    for (std::size_t i = 0; i < q; ++i) {
+      canonical[i].resize(r * p);
+      for (std::size_t j = 0; j < r * p; ++j) {
+        canonical[i][j] = static_cast<Wire>(i * r * p + j);
+      }
+    }
+    std::vector<Wire> out =
+        staircase_merger_cold(b, canonical, r, p, q, base, variant);
+    return std::move(b).finish(std::move(out));
+  });
+  std::vector<Wire> concat;
+  concat.reserve(width);
+  for (const auto& in : inputs) concat.insert(concat.end(), in.begin(), in.end());
+  return builder.stamp(*tmpl, concat);
 }
 
 Network make_staircase_merger_network(std::size_t r, std::size_t p,

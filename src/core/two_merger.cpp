@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/module.h"
 #include "seq/matrix_layout.h"
 
 namespace scn {
@@ -54,15 +55,11 @@ std::vector<Wire> balance_columns_and_emit(NetworkBuilder& builder,
   return out;
 }
 
-}  // namespace
-
-std::vector<Wire> build_two_merger(NetworkBuilder& builder,
-                                   std::span<const Wire> x0,
-                                   std::span<const Wire> x1, std::size_t p) {
-  if (x0.empty()) return {x1.begin(), x1.end()};
-  if (x1.empty()) return {x0.begin(), x0.end()};
-  assert(p >= 1);
-  assert(x0.size() % p == 0 && x1.size() % p == 0);
+/// The imperative gate-by-gate T(p, q0, q1) body — the module template
+/// builder, and the direct path when interning is disabled.
+std::vector<Wire> two_merger_cold(NetworkBuilder& builder,
+                                  std::span<const Wire> x0,
+                                  std::span<const Wire> x1, std::size_t p) {
   const CombinedMatrix m(x0, x1, p);
 
   // Layer 1: a (q0+q1)-balancer across every row.
@@ -77,14 +74,10 @@ std::vector<Wire> build_two_merger(NetworkBuilder& builder,
       [&m](std::size_t r, std::size_t c) { return m.at(r, c); });
 }
 
-std::vector<Wire> build_two_merger_capped(NetworkBuilder& builder,
-                                          std::span<const Wire> x0,
-                                          std::span<const Wire> x1,
-                                          std::size_t p) {
-  if (x0.empty()) return {x1.begin(), x1.end()};
-  if (x1.empty()) return {x0.begin(), x0.end()};
-  assert(p >= 1);
-  assert(x0.size() % p == 0 && x1.size() % p == 0);
+std::vector<Wire> two_merger_capped_cold(NetworkBuilder& builder,
+                                         std::span<const Wire> x0,
+                                         std::span<const Wire> x1,
+                                         std::size_t p) {
   const CombinedMatrix m(x0, x1, p);
   assert(m.q0() == m.q1() && "capped substitution is defined for q0 == q1");
   const std::size_t q = m.q0();
@@ -106,6 +99,61 @@ std::vector<Wire> build_two_merger_capped(NetworkBuilder& builder,
   return balance_columns_and_emit(
       builder, m.rows(), m.cols(),
       [&row](std::size_t r, std::size_t c) { return row[r][c]; });
+}
+
+/// Interns the canonical template (x0 on wires 0..p*q0-1, x1 on the rest)
+/// and stamps it through the caller's logical span.
+std::vector<Wire> stamp_two_merger(NetworkBuilder& builder,
+                                   std::span<const Wire> x0,
+                                   std::span<const Wire> x1, std::size_t p,
+                                   bool capped) {
+  const std::size_t width = x0.size() + x1.size();
+  ModuleKey key;
+  key.kind = capped ? ModuleKind::kTwoMergerCapped : ModuleKind::kTwoMerger;
+  key.params = {p, x0.size() / p, x1.size() / p};
+  const auto tmpl = ModuleCache::shared().intern(key, [&] {
+    NetworkBuilder b(width);
+    const std::vector<Wire> all = identity_order(width);
+    const std::span<const Wire> c0(all.data(), x0.size());
+    const std::span<const Wire> c1(all.data() + x0.size(), x1.size());
+    std::vector<Wire> out = capped ? two_merger_capped_cold(b, c0, c1, p)
+                                   : two_merger_cold(b, c0, c1, p);
+    return std::move(b).finish(std::move(out));
+  });
+  std::vector<Wire> concat;
+  concat.reserve(width);
+  concat.insert(concat.end(), x0.begin(), x0.end());
+  concat.insert(concat.end(), x1.begin(), x1.end());
+  return builder.stamp(*tmpl, concat);
+}
+
+}  // namespace
+
+std::vector<Wire> build_two_merger(NetworkBuilder& builder,
+                                   std::span<const Wire> x0,
+                                   std::span<const Wire> x1, std::size_t p) {
+  if (x0.empty()) return {x1.begin(), x1.end()};
+  if (x1.empty()) return {x0.begin(), x0.end()};
+  assert(p >= 1);
+  assert(x0.size() % p == 0 && x1.size() % p == 0);
+  if (ModuleCache::shared().enabled()) {
+    return stamp_two_merger(builder, x0, x1, p, /*capped=*/false);
+  }
+  return two_merger_cold(builder, x0, x1, p);
+}
+
+std::vector<Wire> build_two_merger_capped(NetworkBuilder& builder,
+                                          std::span<const Wire> x0,
+                                          std::span<const Wire> x1,
+                                          std::size_t p) {
+  if (x0.empty()) return {x1.begin(), x1.end()};
+  if (x1.empty()) return {x0.begin(), x0.end()};
+  assert(p >= 1);
+  assert(x0.size() % p == 0 && x1.size() % p == 0);
+  if (ModuleCache::shared().enabled()) {
+    return stamp_two_merger(builder, x0, x1, p, /*capped=*/true);
+  }
+  return two_merger_capped_cold(builder, x0, x1, p);
 }
 
 Network make_two_merger_network(std::size_t p, std::size_t q0, std::size_t q1,

@@ -4,13 +4,54 @@
 #include <cassert>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 
 namespace scn {
 
 NetworkBuilder::NetworkBuilder(std::size_t width) : wire_layer_(width, 0) {}
 
+bool builder_checks_enabled() {
+#ifdef SCNET_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+void NetworkBuilder::check_wires(std::span<const Wire> wires,
+                                 const char* what) {
+#ifdef SCNET_CHECKED
+  // Epoch-marked scratch keeps duplicate detection O(|wires|) per gate with
+  // no per-call allocation; the scratch array is lazily sized to width().
+  if (seen_mark_.size() != width()) seen_mark_.assign(width(), 0);
+  seen_epoch_ += 1;
+  if (seen_epoch_ == 0) {  // epoch counter wrapped: restart marks
+    std::fill(seen_mark_.begin(), seen_mark_.end(), 0u);
+    seen_epoch_ = 1;
+  }
+  for (const Wire w : wires) {
+    if (w < 0 || static_cast<std::size_t>(w) >= width()) {
+      std::ostringstream err;
+      err << what << ": wire " << w << " out of range for width " << width();
+      throw std::invalid_argument(err.str());
+    }
+    auto& mark = seen_mark_[static_cast<std::size_t>(w)];
+    if (mark == seen_epoch_) {
+      std::ostringstream err;
+      err << what << ": duplicate wire " << w;
+      throw std::invalid_argument(err.str());
+    }
+    mark = seen_epoch_;
+  }
+#else
+  (void)wires;
+  (void)what;
+#endif
+}
+
 void NetworkBuilder::add_balancer(std::span<const Wire> wires) {
   if (wires.size() <= 1) return;  // identity gate: nothing to balance
+  check_wires(wires, "add_balancer");
   std::uint32_t layer = 0;
   for (const Wire w : wires) {
     assert(w >= 0 && static_cast<std::size_t>(w) < width());
@@ -29,6 +70,54 @@ void NetworkBuilder::add_balancer(std::span<const Wire> wires) {
 
 void NetworkBuilder::add_balancer(std::initializer_list<Wire> wires) {
   add_balancer(std::span<const Wire>(wires.begin(), wires.size()));
+}
+
+std::vector<Wire> NetworkBuilder::stamp(const Network& tmpl,
+                                        std::span<const Wire> wires) {
+  assert(wires.size() == tmpl.width());
+#ifdef SCNET_CHECKED
+  if (wires.size() != tmpl.width()) {
+    std::ostringstream err;
+    err << "stamp: relocation span has " << wires.size()
+        << " wires, template width is " << tmpl.width();
+    throw std::invalid_argument(err.str());
+  }
+#endif
+  check_wires(wires, "stamp");
+
+  // Flat splice: the template's gates are already validated (distinct
+  // canonical wires per gate) and `wires` is injective, so the relocated
+  // gates need no per-gate contract check — only the ASAP layer recurrence,
+  // which is identical to what sequential add_balancer calls compute.
+  gates_.reserve(gates_.size() + tmpl.gate_count());
+  gate_wires_.reserve(gate_wires_.size() + tmpl.wire_endpoint_count());
+  for (const Gate& tg : tmpl.gates()) {
+    const auto tws = tmpl.gate_wires(tg);
+    Gate g;
+    g.first = static_cast<std::uint32_t>(gate_wires_.size());
+    g.width = tg.width;
+    std::uint32_t layer = 0;
+    for (const Wire tw : tws) {
+      const Wire w = wires[static_cast<std::size_t>(tw)];
+      gate_wires_.push_back(w);
+      layer = std::max(layer, wire_layer_[static_cast<std::size_t>(w)]);
+    }
+    layer += 1;
+    g.layer = layer;
+    gates_.push_back(g);
+    for (const Wire tw : tws) {
+      wire_layer_[static_cast<std::size_t>(
+          wires[static_cast<std::size_t>(tw)])] = layer;
+    }
+    depth_ = std::max(depth_, layer);
+  }
+
+  std::vector<Wire> out(tmpl.width());
+  const auto order = tmpl.output_order();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = wires[static_cast<std::size_t>(order[i])];
+  }
+  return out;
 }
 
 Network NetworkBuilder::finish(std::vector<Wire> output_order) && {

@@ -49,9 +49,21 @@ class NetworkBuilder {
 
   /// Appends a gate across `wires` (logical order = listed order).
   /// Width-0 and width-1 gates are silently dropped: they are identity.
-  /// Precondition: wires are distinct and < width().
+  /// Precondition: wires are distinct and < width(). Builds with
+  /// SCNET_CHECKED validate the precondition and throw
+  /// std::invalid_argument on violation; otherwise it is assert-only.
   void add_balancer(std::span<const Wire> wires);
   void add_balancer(std::initializer_list<Wire> wires);
+
+  /// Splices every gate of `tmpl` — a network over canonical wires
+  /// 0..tmpl.width()-1 — into this builder, relocating template wire w to
+  /// wires[w]. Gates keep their template order; layers are recomputed by
+  /// ASAP against this builder's current wire state, exactly as a
+  /// gate-by-gate rebuild would. Returns the composed logical output
+  /// order: out[i] = wires[tmpl.output_order()[i]].
+  /// Precondition: |wires| == tmpl.width(), wires distinct and < width()
+  /// (validated under SCNET_CHECKED, like add_balancer).
+  std::vector<Wire> stamp(const Network& tmpl, std::span<const Wire> wires);
 
   [[nodiscard]] std::size_t width() const { return wire_layer_.size(); }
   [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
@@ -68,9 +80,16 @@ class NetworkBuilder {
   [[nodiscard]] Network finish_identity() &&;
 
  private:
+  /// Validates the add_balancer/stamp wire contract (distinct, in range);
+  /// throws std::invalid_argument when built with SCNET_CHECKED, no-op
+  /// otherwise. `what` names the offending operation in the diagnostic.
+  void check_wires(std::span<const Wire> wires, const char* what);
+
   std::vector<Gate> gates_;
   std::vector<Wire> gate_wires_;
   std::vector<std::uint32_t> wire_layer_;  // last layer touching each wire
+  std::vector<std::uint32_t> seen_mark_;   // contract-check scratch
+  std::uint32_t seen_epoch_ = 0;
   std::uint32_t depth_ = 0;
 };
 
@@ -137,5 +156,11 @@ class Network {
 
 /// Convenience: identity order 0..w-1.
 [[nodiscard]] std::vector<Wire> identity_order(std::size_t w);
+
+/// True when the library was compiled with SCNET_CHECKED, i.e. when
+/// NetworkBuilder validates wire contracts at runtime (and throws) instead
+/// of relying on assert-only preconditions. Lets tests skip contract cases
+/// the current build cannot observe.
+[[nodiscard]] bool builder_checks_enabled();
 
 }  // namespace scn

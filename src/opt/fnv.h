@@ -1,0 +1,22 @@
+// FNV-1a hashing helpers shared by the structural plan cache (opt/) and the
+// construction-layer module cache (core/): one mixing discipline so every
+// interning table in the system folds words the same way.
+#pragma once
+
+#include <cstdint>
+
+namespace scn::fnv {
+
+inline constexpr std::uint64_t kOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kPrime = 1099511628211ull;
+
+/// Folds all eight bytes of `v` into `h` so small integers (wire ids,
+/// widths, parameter values) land in distinct hash states.
+inline void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kPrime;
+  }
+}
+
+}  // namespace scn::fnv

@@ -6,26 +6,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include "opt/fnv.h"
+
 namespace scn {
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void fnv_mix(std::uint64_t& h, std::uint64_t v) {
-  // Fold all eight bytes so wire ids and widths land in distinct states.
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffu;
-    h *= kFnvPrime;
-  }
-}
-
-}  // namespace
 
 std::uint64_t structural_hash(const Network& net) {
-  std::uint64_t h = kFnvOffset;
-  fnv_mix(h, net.width());
-  fnv_mix(h, net.gate_count());
+  std::uint64_t h = fnv::kOffset;
+  fnv::mix(h, net.width());
+  fnv::mix(h, net.gate_count());
   for (const auto& layer : net.layers()) {
     // Canonical within-layer order: gates in one ASAP layer touch disjoint
     // wires, so minimum wire ids are distinct and sort stably.
@@ -36,15 +24,15 @@ std::uint64_t structural_hash(const Network& net) {
       order.emplace_back(*std::min_element(ws.begin(), ws.end()), gi);
     }
     std::sort(order.begin(), order.end());
-    fnv_mix(h, 0x4c41594552ull);  // layer separator
+    fnv::mix(h, 0x4c41594552ull);  // layer separator
     for (const auto& [min_wire, gi] : order) {
       const auto ws = net.gate_wires(gi);
-      fnv_mix(h, ws.size());
-      for (const Wire w : ws) fnv_mix(h, static_cast<std::uint64_t>(w));
+      fnv::mix(h, ws.size());
+      for (const Wire w : ws) fnv::mix(h, static_cast<std::uint64_t>(w));
     }
   }
   for (const Wire w : net.output_order()) {
-    fnv_mix(h, static_cast<std::uint64_t>(w));
+    fnv::mix(h, static_cast<std::uint64_t>(w));
   }
   return h;
 }
@@ -65,11 +53,11 @@ struct Key {
 struct KeyHash {
   std::size_t operator()(const Key& k) const {
     std::uint64_t h = k.hash;
-    fnv_mix(h, k.width);
-    fnv_mix(h, k.gates);
-    fnv_mix(h, static_cast<std::uint64_t>(k.level));
-    fnv_mix(h, static_cast<std::uint64_t>(k.semantics));
-    fnv_mix(h, k.width_cap);
+    fnv::mix(h, k.width);
+    fnv::mix(h, k.gates);
+    fnv::mix(h, static_cast<std::uint64_t>(k.level));
+    fnv::mix(h, static_cast<std::uint64_t>(k.semantics));
+    fnv::mix(h, k.width_cap);
     return static_cast<std::size_t>(h);
   }
 };

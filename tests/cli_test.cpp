@@ -154,6 +154,51 @@ TEST(Cli, SortAcceptsPassesFlag) {
   EXPECT_EQ(plain.output, opt.output);
 }
 
+TEST(Cli, BuildStatsReportsConstructionAndModuleCache) {
+  const auto r = run_command(kCli + " build --stats L 3x4x3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The network still goes to stdout, unchanged by --stats.
+  EXPECT_NE(r.output.find("scnet 1"), std::string::npos);
+  EXPECT_NE(r.output.find("width 36"), std::string::npos);
+  // Pinned stats shape: one build line, then the cache report.
+  EXPECT_NE(r.output.find("build: L width 36 gates "), std::string::npos);
+  EXPECT_NE(r.output.find(" depth "), std::string::npos);
+  EXPECT_NE(r.output.find(" ms\n"), std::string::npos);
+  EXPECT_NE(r.output.find("module-cache: hits "), std::string::npos);
+  EXPECT_NE(r.output.find(" misses "), std::string::npos);
+  EXPECT_NE(r.output.find(" entries "), std::string::npos);
+  EXPECT_NE(r.output.find(" bytes "), std::string::npos);
+  EXPECT_NE(r.output.find(" hit-rate "), std::string::npos);
+  EXPECT_NE(r.output.find("plan-cache: hits "), std::string::npos);
+}
+
+TEST(Cli, BuildWithoutStatsStaysQuiet) {
+  const auto r = run_command(kCli + " build L 2x3");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("module-cache:"), std::string::npos);
+  EXPECT_EQ(r.output.find("build:"), std::string::npos);
+}
+
+TEST(Cli, OptimizeStatsReportsBothCachesInOneReport) {
+  const auto r = run_command(kCli + " build K 2x3 | " + kCli +
+                             " optimize --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Pass provenance (the pre-existing report) is still there...
+  EXPECT_NE(r.output.find("pipeline "), std::string::npos);
+  EXPECT_NE(r.output.find("total: gates "), std::string::npos);
+  // ...followed by the unified cache report, module cache first.
+  const auto module_pos = r.output.find("module-cache: hits ");
+  const auto plan_pos = r.output.find("plan-cache: hits ");
+  ASSERT_NE(module_pos, std::string::npos);
+  ASSERT_NE(plan_pos, std::string::npos);
+  EXPECT_LT(module_pos, plan_pos);
+  EXPECT_NE(r.output.find(" evictions "), std::string::npos);
+  EXPECT_NE(r.output.find(" capacity "), std::string::npos);
+  // optimize --stats routes the pipeline through the shared plan cache, so
+  // this fresh process records exactly one plan compilation.
+  EXPECT_NE(r.output.find("plan-cache: hits 0 misses 1"), std::string::npos);
+}
+
 TEST(Cli, BadUsageExitsTwo) {
   EXPECT_EQ(run_command(kCli + " frobnicate < /dev/null").exit_code, 2);
   EXPECT_EQ(run_command(kCli + " build K 1x3").exit_code, 2);

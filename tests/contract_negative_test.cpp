@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 
 #include "core/bitonic_converter.h"
 #include "core/counting_network.h"
@@ -103,6 +104,26 @@ TEST(NegativeContract, StaircaseMergerBoundIsNotVacuous) {
     }
   }
   EXPECT_TRUE(witness) << "S appears insensitive to the staircase bound";
+}
+
+TEST(NegativeContract, AddBalancerRejectsDuplicateAndOutOfRangeWires) {
+  if (!builder_checks_enabled()) {
+    GTEST_SKIP() << "library built without SCNET_CHECKED";
+  }
+  NetworkBuilder b(4);
+  EXPECT_THROW(b.add_balancer({Wire{0}, Wire{0}}), std::invalid_argument);
+  EXPECT_THROW(b.add_balancer({Wire{2}, Wire{3}, Wire{2}}),
+               std::invalid_argument);
+  EXPECT_THROW(b.add_balancer({Wire{1}, Wire{4}}), std::invalid_argument);
+  EXPECT_THROW(b.add_balancer({Wire{-1}, Wire{1}}), std::invalid_argument);
+  // The contract is checked before any mutation: rejected calls leave no
+  // partial gate behind, and the builder keeps working.
+  EXPECT_EQ(b.gate_count(), 0u);
+  b.add_balancer({Wire{0}, Wire{1}, Wire{2}, Wire{3}});
+  const Network net = std::move(b).finish_identity();
+  EXPECT_EQ(net.gate_count(), 1u);
+  EXPECT_EQ(net.depth(), 1u);
+  EXPECT_TRUE(net.validate().empty()) << net.validate();
 }
 
 TEST(NegativeContract, CountingNetworksHaveNoSuchWitness) {

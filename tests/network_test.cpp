@@ -2,6 +2,8 @@
 // the logical output order machinery.
 #include <gtest/gtest.h>
 
+#include "core/l_network.h"
+#include "core/module.h"
 #include "net/linked_network.h"
 #include "net/network.h"
 
@@ -65,6 +67,47 @@ TEST(Network, GateWidthHistogramAndStats) {
   EXPECT_EQ(hist[3], 1u);
   EXPECT_EQ(hist[6], 1u);
   EXPECT_EQ(net.wire_endpoint_count(), 11u);
+}
+
+TEST(Network, GateWidthHistogramOfEmptyNetworkIsTrivial) {
+  const Network net = NetworkBuilder(5).finish_identity();
+  EXPECT_EQ(net.gate_width_histogram(), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(net.wire_endpoint_count(), 0u);
+}
+
+TEST(Network, GateWidthHistogramSumsMatchStructure) {
+  const Network net = make_l_network({3, 4, 3});
+  const auto hist = net.gate_width_histogram();
+  ASSERT_EQ(hist.size(), net.max_gate_width() + 1u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 0u);  // width-<2 gates are dropped at build time
+  std::size_t gates = 0, endpoints = 0;
+  for (std::size_t p = 0; p < hist.size(); ++p) {
+    gates += hist[p];
+    endpoints += p * hist[p];
+  }
+  EXPECT_EQ(gates, net.gate_count());
+  EXPECT_EQ(endpoints, net.wire_endpoint_count());
+}
+
+TEST(Network, InternedStampingPreservesHistogramAndEndpoints) {
+  // The module cache changes how networks are built (stamped templates vs
+  // recursive appends), which must not move any structural statistic.
+  Network stamped, cold;
+  {
+    ScopedModuleCacheToggle on(true);
+    (void)make_l_network({4, 3, 5});  // warm the cache
+    stamped = make_l_network({4, 3, 5});
+  }
+  {
+    ScopedModuleCacheToggle off(false);
+    cold = make_l_network({4, 3, 5});
+  }
+  EXPECT_EQ(stamped.gate_width_histogram(), cold.gate_width_histogram());
+  EXPECT_EQ(stamped.wire_endpoint_count(), cold.wire_endpoint_count());
+  EXPECT_EQ(stamped.gate_count(), cold.gate_count());
+  EXPECT_EQ(stamped.depth(), cold.depth());
+  EXPECT_EQ(stamped.max_gate_width(), cold.max_gate_width());
 }
 
 TEST(Network, OutputOrderRoundTrip) {
