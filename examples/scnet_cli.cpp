@@ -22,10 +22,15 @@
 //                                            module-cache counters on stderr
 //   scnet_cli optimize --stats < net.scnet   also report module-cache and
 //                                            plan-cache counters on stderr
+//
+// Global options (any command, stripped before dispatch):
+//   --metrics            dump the full metrics registry to stderr on exit
+//   --trace out.json     record spans and write a chrome://tracing file
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -74,7 +79,10 @@ int usage() {
                "< net.scnet\n"
                "  scnet_cli optimize [--stats] "
                "[--passes={none|default|aggressive}] "
-               "[--semantics={comparator|balancer}] < net.scnet\n");
+               "[--semantics={comparator|balancer}] < net.scnet\n"
+               "global options (any command):\n"
+               "  --metrics            dump the metrics registry to stderr\n"
+               "  --trace <out.json>   write a chrome://tracing span file\n");
   return 2;
 }
 
@@ -327,9 +335,31 @@ Network read_network_or_die() {
   return std::move(*r.network);
 }
 
-}  // namespace
+// The pinned --metrics report: every registry entry, one per line, sorted
+// by name (the registry snapshot is name-sorted). Histograms print their
+// count/mean and bucket-resolution quantiles instead of a raw value.
+void print_metrics() {
+  const obs::MetricsSnapshot snap = metrics_snapshot();
+  std::fprintf(stderr, "metrics:\n");
+  for (const obs::MetricSample& s : snap) {
+    if (s.kind == obs::MetricKind::kHistogram) {
+      std::fprintf(stderr,
+                   "  %s = count %llu mean %.1f p50<=%llu p99<=%llu\n",
+                   s.name.c_str(),
+                   static_cast<unsigned long long>(s.histogram.count),
+                   s.histogram.mean(),
+                   static_cast<unsigned long long>(
+                       s.histogram.quantile_upper_bound(0.5)),
+                   static_cast<unsigned long long>(
+                       s.histogram.quantile_upper_bound(0.99)));
+    } else {
+      std::fprintf(stderr, "  %s = %llu\n", s.name.c_str(),
+                   static_cast<unsigned long long>(s.value));
+    }
+  }
+}
 
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
@@ -398,4 +428,45 @@ int main(int argc, char** argv) {
   if (cmd == "sort" && argc >= 3) return cmd_sort(net, argc, argv);
   if (cmd == "optimize") return cmd_optimize(net, argc, argv);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the global observability options before command dispatch so each
+  // command's own option parsing (which rejects unknown --flags) never
+  // sees them.
+  bool metrics = false;
+  std::string trace_path;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires an output file\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+
+  int rc;
+  {
+    // Scoped so the trace file is written before the metrics report.
+    std::optional<scn::TraceSession> session;
+    if (!trace_path.empty()) session.emplace(trace_path);
+    rc = dispatch(static_cast<int>(filtered.size()), filtered.data());
+  }
+  if (!trace_path.empty()) {
+    std::fprintf(stderr, "trace: wrote %s (%zu events)\n", trace_path.c_str(),
+                 scn::obs::Tracer::shared().event_count());
+  }
+  if (metrics) print_metrics();
+  return rc;
 }

@@ -18,19 +18,35 @@ Network pick_network(std::size_t width, std::size_t cap, NetworkKind kind) {
 
 }  // namespace
 
+obs::MetricsSnapshot metrics_snapshot() {
+  // Touch both shared caches first: their constructors register the
+  // module_cache.* / plan_cache.* metrics, and a snapshot taken before
+  // any construction work should still list them (at zero).
+  ModuleCache::shared();
+  PlanCache::shared();
+  return obs::MetricsRegistry::shared().snapshot();
+}
+
 CacheStatsReport cache_stats() {
-  const ModuleCacheStats m = ModuleCache::shared().stats();
-  const PlanCacheStats p = PlanCache::shared().stats();
+  // Both shared caches publish through the registry (their hit/miss
+  // counters ARE registry counters; entries/bytes/capacity are gauges),
+  // so the report reads straight from it — one source of truth shared
+  // with metrics_snapshot() and the CLI's --metrics flag.
+  ModuleCache::shared();
+  PlanCache::shared();
+  const auto& reg = obs::MetricsRegistry::shared();
   return CacheStatsReport{
-      .module_hits = m.hits,
-      .module_misses = m.misses,
-      .module_entries = m.entries,
-      .module_bytes = m.bytes,
-      .plan_hits = p.hits,
-      .plan_misses = p.misses,
-      .plan_evictions = p.evictions,
-      .plan_entries = p.entries,
-      .plan_capacity = p.capacity,
+      .module_hits = reg.value("module_cache.hits"),
+      .module_misses = reg.value("module_cache.misses"),
+      .module_entries = static_cast<std::size_t>(
+          reg.value("module_cache.entries")),
+      .module_bytes = static_cast<std::size_t>(reg.value("module_cache.bytes")),
+      .plan_hits = reg.value("plan_cache.hits"),
+      .plan_misses = reg.value("plan_cache.misses"),
+      .plan_evictions = reg.value("plan_cache.evictions"),
+      .plan_entries = static_cast<std::size_t>(reg.value("plan_cache.entries")),
+      .plan_capacity = static_cast<std::size_t>(
+          reg.value("plan_cache.capacity")),
   };
 }
 

@@ -22,17 +22,36 @@
 
 #include "count/fetch_inc.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seq/sequence_props.h"
 
 namespace scn {
 
 class ExecutionPlan;
 
+/// Everything the process-wide MetricsRegistry currently holds, sorted by
+/// name: engine run counters, pass pipeline counters/histograms, cache
+/// hit/miss counters and entry gauges, concurrent-sim token counts. See
+/// docs/observability.md for the metric name inventory. Works in every
+/// build: the cache metrics are always live; the hot-path engine/pass
+/// counters only advance when compiled in (obs::compiled_in()).
+[[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+
+/// RAII trace capture re-exported from obs/trace.h: construct with an
+/// output path to start recording spans, destroy to stop and write the
+/// Chrome trace (open at chrome://tracing). The CLI's `--trace out.json`
+/// wraps a command in exactly this object.
+using obs::TraceSession;
+
 /// One snapshot of both process-wide caches: the module cache (interned
 /// construction templates stamped by the src/core builders) and the plan
 /// cache (compiled ExecutionPlans keyed on structural hash + pipeline).
 /// Mirrors ModuleCacheStats / PlanCacheStats as plain fields so this header
-/// stays free of the opt/ and core/ cache headers.
+/// stays free of the opt/ and core/ cache headers. Since the observability
+/// layer landed, both shared caches publish through the MetricsRegistry and
+/// this report is read back from it — the registry is the single source of
+/// truth (`module_cache.*` / `plan_cache.*` in metrics_snapshot()).
 struct CacheStatsReport {
   std::uint64_t module_hits = 0;
   std::uint64_t module_misses = 0;

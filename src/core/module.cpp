@@ -3,10 +3,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "opt/fnv.h"
 
 namespace scn {
@@ -61,13 +63,35 @@ bool enabled_from_env() {
 struct ModuleCache::Impl {
   mutable std::mutex mu;
   std::unordered_map<ModuleKey, std::shared_ptr<const Network>, KeyHash> table;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
   std::size_t bytes = 0;
   std::atomic<bool> enabled{true};
+
+  // Local counters by default; rebound to MetricsRegistry::shared()
+  // counters when constructed with a metric prefix (see plan_cache.cpp
+  // for the pattern and the lock-order argument).
+  obs::Counter local_hits, local_misses;
+  obs::Counter* hits = &local_hits;
+  obs::Counter* misses = &local_misses;
 };
 
 ModuleCache::ModuleCache() : impl_(std::make_unique<Impl>()) {}
+
+ModuleCache::ModuleCache(const char* metric_prefix)
+    : impl_(std::make_unique<Impl>()) {
+  const std::string prefix(metric_prefix);
+  auto& reg = obs::MetricsRegistry::shared();
+  impl_->hits = &reg.counter(prefix + ".hits");
+  impl_->misses = &reg.counter(prefix + ".misses");
+  Impl* impl = impl_.get();
+  reg.register_gauge(prefix + ".entries", [impl] {
+    const std::lock_guard<std::mutex> lock(impl->mu);
+    return static_cast<std::uint64_t>(impl->table.size());
+  });
+  reg.register_gauge(prefix + ".bytes", [impl] {
+    const std::lock_guard<std::mutex> lock(impl->mu);
+    return static_cast<std::uint64_t>(impl->bytes);
+  });
+}
 
 ModuleCache::~ModuleCache() = default;
 
@@ -76,10 +100,10 @@ std::shared_ptr<const Network> ModuleCache::intern(
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
     if (const auto it = impl_->table.find(key); it != impl_->table.end()) {
-      impl_->hits += 1;
+      impl_->hits->add(1);
       return it->second;
     }
-    impl_->misses += 1;
+    impl_->misses->add(1);
   }
   // Build outside the lock: template construction recursively interns
   // sub-modules through this same cache.
@@ -101,8 +125,8 @@ void ModuleCache::set_enabled(bool enabled) {
 ModuleCacheStats ModuleCache::stats() const {
   const std::lock_guard<std::mutex> lock(impl_->mu);
   ModuleCacheStats out;
-  out.hits = impl_->hits;
-  out.misses = impl_->misses;
+  out.hits = impl_->hits->value();
+  out.misses = impl_->misses->value();
   out.entries = impl_->table.size();
   out.bytes = impl_->bytes;
   return out;
@@ -111,14 +135,14 @@ ModuleCacheStats ModuleCache::stats() const {
 void ModuleCache::clear() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->table.clear();
-  impl_->hits = 0;
-  impl_->misses = 0;
+  impl_->hits->reset();
+  impl_->misses->reset();
   impl_->bytes = 0;
 }
 
 ModuleCache& ModuleCache::shared() {
   static ModuleCache* cache = [] {
-    auto* c = new ModuleCache();
+    auto* c = new ModuleCache("module_cache");
     c->set_enabled(enabled_from_env());
     return c;
   }();

@@ -73,6 +73,13 @@ struct ModuleCacheStats {
 class ModuleCache {
  public:
   ModuleCache();
+
+  /// As the default constructor, but publishes this instance's statistics
+  /// through the shared MetricsRegistry under `<metric_prefix>.hits` /
+  /// `.misses` (counters) and `.entries` / `.bytes` (gauges). Used by
+  /// shared(); private instances keep purely local counters.
+  explicit ModuleCache(const char* metric_prefix);
+
   ~ModuleCache();
 
   ModuleCache(const ModuleCache&) = delete;

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <variant>
+
+namespace scn::obs {
+
+std::uint64_t Histogram::Snapshot::quantile_upper_bound(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      // Bucket b holds values with bit_width b: upper bound 2^b - 1.
+      return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+    }
+  }
+  return max_upper_bound();
+}
+
+std::uint64_t Histogram::Snapshot::max_upper_bound() const {
+  for (std::size_t b = kBuckets; b-- > 0;) {
+    if (buckets[b] > 0) {
+      return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+    }
+  }
+  return 0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    out.count += out.buckets[b];
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+using Gauge = std::function<std::uint64_t()>;
+// unique_ptr entries give Counter/Histogram stable addresses across rehash;
+// std::map keys keep snapshots name-sorted for free.
+using Metric =
+    std::variant<std::unique_ptr<Counter>, std::unique_ptr<Histogram>, Gauge>;
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Metric, std::less<>> table;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->table.find(name);
+  if (it == impl_->table.end()) {
+    it = impl_->table
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *std::get<std::unique_ptr<Counter>>(it->second);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->table.find(name);
+  if (it == impl_->table.end()) {
+    it = impl_->table
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *std::get<std::unique_ptr<Histogram>>(it->second);
+}
+
+void MetricsRegistry::register_gauge(std::string_view name,
+                                     std::function<std::uint64_t()> read) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->table.insert_or_assign(std::string(name), Metric(std::move(read)));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  MetricsSnapshot out;
+  out.reserve(impl_->table.size());
+  for (const auto& [name, metric] : impl_->table) {
+    MetricSample sample;
+    sample.name = name;
+    if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      sample.kind = MetricKind::kCounter;
+      sample.value = (*c)->value();
+    } else if (const auto* h =
+                   std::get_if<std::unique_ptr<Histogram>>(&metric)) {
+      sample.kind = MetricKind::kHistogram;
+      sample.histogram = (*h)->snapshot();
+      sample.value = sample.histogram.count;
+    } else {
+      sample.kind = MetricKind::kGauge;
+      sample.value = std::get<Gauge>(metric)();
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->table.find(name);
+  if (it == impl_->table.end()) return 0;
+  if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&it->second)) {
+    return (*c)->value();
+  }
+  if (const auto* g = std::get_if<Gauge>(&it->second)) return (*g)();
+  return std::get<std::unique_ptr<Histogram>>(it->second)->snapshot().count;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, metric] : impl_->table) {
+    if (auto* c = std::get_if<std::unique_ptr<Counter>>(&metric)) {
+      (*c)->reset();
+    } else if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&metric)) {
+      (*h)->reset();
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::shared() {
+  // Leaked intentionally: instrumentation call sites hold references from
+  // static initializers and may fire during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace scn::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace scn::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint32_t this_thread_id() {
+  // Small dense per-process ids (0, 1, 2, ...) in registration order —
+  // Chrome's viewer groups rows by tid, and small ids read better than
+  // OS thread handles.
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Minimal JSON string escaping; metric/span names are ASCII by
+// convention, but args payloads may quote arbitrary text.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  Clock::time_point epoch{};
+};
+
+Tracer::Tracer() : impl_(std::make_unique<Impl>()) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::start() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.clear();
+  impl_->dropped = 0;
+  impl_->epoch = Clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_release); }
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.clear();
+  impl_->dropped = 0;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  if (!active()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           impl_->epoch)
+          .count());
+}
+
+void Tracer::record_complete(std::string_view name, std::string_view category,
+                             std::uint64_t start_ns, std::uint64_t duration_ns,
+                             std::string_view args_json) {
+  if (!active()) return;
+  const std::uint32_t tid = this_thread_id();
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->events.size() >= kMaxEvents) {
+    ++impl_->dropped;
+    return;
+  }
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.args_json = std::string(args_json);
+  ev.start_ns = start_ns;
+  ev.duration_ns = duration_ns;
+  ev.thread_id = tid;
+  impl_->events.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events.size();
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  out.reserve(128 + impl_->events.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const TraceEvent& ev : impl_->events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u,\"ts\":%.3f,\"dur\":%.3f",
+                  ev.thread_id, static_cast<double>(ev.start_ns) / 1e3,
+                  static_cast<double>(ev.duration_ns) / 1e3);
+    out += buf;
+    if (!ev.args_json.empty()) {
+      out += ",\"args\":";
+      out += ev.args_json;  // already a JSON object literal
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == json.size() && close_rc == 0;
+}
+
+Tracer& Tracer::shared() {
+  // Leaked like MetricsRegistry::shared(): spans may close during
+  // static destruction of other translation units.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace scn::obs

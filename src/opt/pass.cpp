@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/passes.h"
 
 namespace scn {
@@ -87,6 +89,8 @@ PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
 
 PipelineResult PassManager::run(const Network& net,
                                 const PassOptions& opts) const {
+  SCNET_COUNTER_ADD("opt.pipeline.runs", 1);
+  SCNET_TRACE_SPAN("opt", "pipeline");
   PipelineResult result;
   result.network = net;
   result.passes.reserve(passes_.size());
@@ -96,11 +100,13 @@ PipelineResult PassManager::run(const Network& net,
     stats.gates_before = result.network.gate_count();
     stats.depth_before = result.network.depth();
     if (!pass->applicable(result.network, opts)) {
+      SCNET_COUNTER_ADD("opt.pass.skipped", 1);
       stats.gates_after = stats.gates_before;
       stats.depth_after = stats.depth_before;
       result.passes.push_back(std::move(stats));
       continue;
     }
+    const std::uint64_t span_start_ns = obs::Tracer::shared().now_ns();
     const auto t0 = std::chrono::steady_clock::now();
     Network rewritten = pass->run(result.network, opts);
     const auto t1 = std::chrono::steady_clock::now();
@@ -108,6 +114,24 @@ PipelineResult PassManager::run(const Network& net,
     stats.seconds = std::chrono::duration<double>(t1 - t0).count();
     stats.gates_after = rewritten.gate_count();
     stats.depth_after = rewritten.depth();
+    SCNET_COUNTER_ADD("opt.pass.applied", 1);
+    SCNET_HISTOGRAM_RECORD(
+        "opt.pass.micros",
+        static_cast<std::uint64_t>(stats.seconds * 1e6));
+    // The pass span reuses the provenance timing PassManager already
+    // measures, and carries the gate/depth deltas as span args.
+    if constexpr (obs::compiled_in()) {
+      if (obs::Tracer::shared().active()) {
+        std::ostringstream args;
+        args << "{\"gates_before\":" << stats.gates_before
+             << ",\"gates_after\":" << stats.gates_after
+             << ",\"depth_before\":" << stats.depth_before
+             << ",\"depth_after\":" << stats.depth_after << "}";
+        obs::Tracer::shared().record_complete(
+            stats.name, "opt.pass", span_start_ns,
+            static_cast<std::uint64_t>(stats.seconds * 1e9), args.str());
+      }
+    }
     assert(rewritten.width() == result.network.width());
     assert(rewritten.validate().empty());
     assert(!pass->never_increases_depth() ||

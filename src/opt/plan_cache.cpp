@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "opt/fnv.h"
 
 namespace scn {
@@ -75,13 +77,43 @@ struct PlanCache::Impl {
   std::size_t capacity;
   std::list<Entry> lru;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-  PlanCacheStats counters;
+
+  // Hit/miss/eviction counting goes through these pointers: local counters
+  // by default, rebound to MetricsRegistry::shared() counters when the
+  // cache is constructed with a metric prefix. Counter adds are relaxed
+  // atomics, so no registry lock is ever taken on the lookup path.
+  obs::Counter local_hits, local_misses, local_evictions;
+  obs::Counter* hits = &local_hits;
+  obs::Counter* misses = &local_misses;
+  obs::Counter* evictions = &local_evictions;
 
   explicit Impl(std::size_t cap) : capacity(std::max<std::size_t>(1, cap)) {}
 };
 
 PlanCache::PlanCache(std::size_t capacity)
     : impl_(std::make_unique<Impl>(capacity)) {}
+
+PlanCache::PlanCache(std::size_t capacity, const char* metric_prefix)
+    : impl_(std::make_unique<Impl>(capacity)) {
+  const std::string prefix(metric_prefix);
+  auto& reg = obs::MetricsRegistry::shared();
+  impl_->hits = &reg.counter(prefix + ".hits");
+  impl_->misses = &reg.counter(prefix + ".misses");
+  impl_->evictions = &reg.counter(prefix + ".evictions");
+  // Entries/capacity are live views of cache state, sampled at snapshot
+  // time (gauge callbacks lock the cache mutex under the registry lock;
+  // cache operations never take the registry lock, so the order is
+  // acyclic). The instance must outlive the registry's use of these
+  // callbacks — shared() leaks its instance for exactly that reason.
+  Impl* impl = impl_.get();
+  reg.register_gauge(prefix + ".entries", [impl] {
+    const std::lock_guard<std::mutex> lock(impl->mu);
+    return static_cast<std::uint64_t>(impl->lru.size());
+  });
+  reg.register_gauge(prefix + ".capacity", [impl] {
+    return static_cast<std::uint64_t>(impl->capacity);
+  });
+}
 
 PlanCache::~PlanCache() = default;
 
@@ -98,7 +130,7 @@ CachedPlan PlanCache::compiled(const Network& net, PassLevel level,
   const std::lock_guard<std::mutex> lock(impl_->mu);
   if (const auto it = impl_->index.find(key); it != impl_->index.end()) {
     impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
-    impl_->counters.hits += 1;
+    impl_->hits->add(1);
     return {it->second->plan, it->second->passes, true};
   }
 
@@ -106,7 +138,7 @@ CachedPlan PlanCache::compiled(const Network& net, PassLevel level,
   // endpoints); serializing it avoids duplicate work when many threads
   // race for the same network, which is the common shape (one network,
   // many evaluators).
-  impl_->counters.misses += 1;
+  impl_->misses->add(1);
   PipelineResult optimized = optimize_network(net, level, opts);
   Entry entry;
   entry.key = key;
@@ -119,7 +151,7 @@ CachedPlan PlanCache::compiled(const Network& net, PassLevel level,
   if (impl_->lru.size() > impl_->capacity) {
     impl_->index.erase(impl_->lru.back().key);
     impl_->lru.pop_back();
-    impl_->counters.evictions += 1;
+    impl_->evictions->add(1);
   }
   const Entry& front = impl_->lru.front();
   return {front.plan, front.passes, false};
@@ -127,7 +159,10 @@ CachedPlan PlanCache::compiled(const Network& net, PassLevel level,
 
 PlanCacheStats PlanCache::stats() const {
   const std::lock_guard<std::mutex> lock(impl_->mu);
-  PlanCacheStats out = impl_->counters;
+  PlanCacheStats out;
+  out.hits = impl_->hits->value();
+  out.misses = impl_->misses->value();
+  out.evictions = impl_->evictions->value();
   out.entries = impl_->lru.size();
   out.capacity = impl_->capacity;
   return out;
@@ -137,12 +172,17 @@ void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->lru.clear();
   impl_->index.clear();
-  impl_->counters = {};
+  impl_->hits->reset();
+  impl_->misses->reset();
+  impl_->evictions->reset();
 }
 
 PlanCache& PlanCache::shared() {
-  static PlanCache cache(64);
-  return cache;
+  // Leaked: the registry gauges registered by the metric-prefix
+  // constructor capture Impl*, and the (also leaked) registry may be
+  // snapshotted during static destruction.
+  static PlanCache* cache = new PlanCache(64, "plan_cache");
+  return *cache;
 }
 
 CachedPlan compiled_plan(const Network& net, PassLevel level,

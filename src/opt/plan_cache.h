@@ -50,6 +50,14 @@ struct CachedPlan {
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 64);
+
+  /// As above, but publishes this instance's statistics through the shared
+  /// MetricsRegistry under `<metric_prefix>.hits` / `.misses` / `.evictions`
+  /// (counters) and `.entries` / `.capacity` (gauges). Used by shared() so
+  /// the process-wide cache has one source of truth for its numbers;
+  /// private instances (tests) keep purely local counters.
+  PlanCache(std::size_t capacity, const char* metric_prefix);
+
   ~PlanCache();
 
   PlanCache(const PlanCache&) = delete;

@@ -43,6 +43,37 @@ ContentionEstimate estimate_contention(const Network& net) {
   return est;
 }
 
+ContentionComparison compare_contention(const Network& net,
+                                        std::span<const std::uint64_t> visits,
+                                        std::uint64_t tokens) {
+  assert(visits.size() == net.gate_count());
+  ContentionComparison cmp;
+  cmp.tokens = tokens;
+  const auto traffic = gate_traffic(net);
+  double abs_error_sum = 0.0;
+  for (std::size_t g = 0; g < traffic.size(); ++g) {
+    const double predicted = traffic[g].fraction;
+    const double measured =
+        tokens == 0 ? 0.0
+                    : static_cast<double>(visits[g]) /
+                          static_cast<double>(tokens);
+    if (predicted > cmp.predicted_hottest) {
+      cmp.predicted_hottest = predicted;
+      cmp.predicted_gate = g;
+    }
+    if (measured > cmp.measured_hottest) {
+      cmp.measured_hottest = measured;
+      cmp.measured_gate = g;
+    }
+    abs_error_sum += predicted > measured ? predicted - measured
+                                          : measured - predicted;
+  }
+  if (!traffic.empty()) {
+    cmp.mean_abs_error = abs_error_sum / static_cast<double>(traffic.size());
+  }
+  return cmp;
+}
+
 double latency_crossover(const ContentionEstimate& a,
                          const ContentionEstimate& b, double alpha,
                          double beta, double t_max) {

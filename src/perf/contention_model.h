@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/network.h"
@@ -64,5 +66,36 @@ struct ContentionEstimate {
                                        const ContentionEstimate& b,
                                        double alpha, double beta,
                                        double t_max = 1e6);
+
+/// The analytical model checked against a measured run: per-gate traffic
+/// predictions from gate_traffic() next to visit counts observed by
+/// ConcurrentNetwork's visit probe. A measured fraction is visits[g] /
+/// tokens — directly comparable to GateTraffic::fraction.
+struct ContentionComparison {
+  double predicted_hottest = 0.0;  ///< max predicted traffic fraction
+  double measured_hottest = 0.0;   ///< max measured traffic fraction
+  std::size_t predicted_gate = 0;  ///< argmax gate of the prediction
+  std::size_t measured_gate = 0;   ///< argmax gate of the measurement
+  /// Mean over gates of |predicted - measured| fraction.
+  double mean_abs_error = 0.0;
+  std::uint64_t tokens = 0;  ///< tokens behind the measurement
+
+  /// |measured - predicted| / predicted for the hottest gate (0 when the
+  /// prediction is degenerate). Round-robin balancers make measured
+  /// traffic nearly deterministic, so this is small — see
+  /// docs/observability.md for the tolerance bench_obs_overhead gates on.
+  [[nodiscard]] double hottest_relative_error() const {
+    if (predicted_hottest <= 0.0) return 0.0;
+    const double d = measured_hottest - predicted_hottest;
+    return (d < 0 ? -d : d) / predicted_hottest;
+  }
+};
+
+/// Joins estimate-side gate_traffic(net) with probe-side visit counts
+/// (`visits` must be indexed by gate, `tokens` the total routed — both
+/// from ConcurrentNetwork::gate_visits() after a run).
+[[nodiscard]] ContentionComparison compare_contention(
+    const Network& net, std::span<const std::uint64_t> visits,
+    std::uint64_t tokens);
 
 }  // namespace scn

@@ -35,6 +35,8 @@
 #include "net/network.h"                // IWYU pragma: export
 #include "net/serialize.h"              // IWYU pragma: export
 #include "net/transform.h"              // IWYU pragma: export
+#include "obs/metrics.h"                // IWYU pragma: export
+#include "obs/trace.h"                  // IWYU pragma: export
 #include "opt/expand.h"                 // IWYU pragma: export
 #include "opt/pass.h"                   // IWYU pragma: export
 #include "opt/passes.h"                 // IWYU pragma: export

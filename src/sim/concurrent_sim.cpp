@@ -5,6 +5,9 @@
 #include <random>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scn {
 
 ConcurrentNetwork::ConcurrentNetwork(const Network& net)
@@ -16,9 +19,15 @@ ConcurrentNetwork::ExitEvent ConcurrentNetwork::traverse(Wire in) {
   const Network& net = linked_.network();
   std::int32_t gate = linked_.entry_gate(in);
   Wire wire = in;
+  // Raw pointer hoisted out of the loop: the probe branch is one
+  // well-predicted test per hop when disabled (the common case).
+  PaddedCounter* const probe = visit_counts_.get();
   while (gate != LinkedNetwork::kExit) {
     const auto g = static_cast<std::size_t>(gate);
     const std::uint32_t p = net.gates()[g].width;
+    if (probe != nullptr) {
+      probe[g].value.fetch_add(1, std::memory_order_relaxed);
+    }
     const std::uint64_t ticket =
         gate_state_[g].value.fetch_add(1, std::memory_order_acq_rel);
     const auto slot = static_cast<std::size_t>(ticket % p);
@@ -45,6 +54,9 @@ std::vector<Count> ConcurrentNetwork::output_counts() const {
 void ConcurrentNetwork::reset() {
   for (std::size_t g = 0; g < network().gate_count(); ++g) {
     gate_state_[g].value.store(0, std::memory_order_relaxed);
+    if (visit_counts_ != nullptr) {
+      visit_counts_[g].value.store(0, std::memory_order_relaxed);
+    }
   }
   for (std::size_t w = 0; w < network().width(); ++w) {
     exit_counts_[w].value.store(0, std::memory_order_relaxed);
@@ -52,10 +64,31 @@ void ConcurrentNetwork::reset() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 
+void ConcurrentNetwork::enable_visit_probe() {
+  if (visit_counts_ == nullptr) {
+    visit_counts_ =
+        std::make_unique<PaddedCounter[]>(network().gate_count());
+  }
+}
+
+std::vector<std::uint64_t> ConcurrentNetwork::gate_visits() const {
+  if (visit_counts_ == nullptr) return {};
+  std::vector<std::uint64_t> out(network().gate_count());
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    out[g] = visit_counts_[g].value.load(std::memory_order_acquire);
+  }
+  return out;
+}
+
 ConcurrentRunResult run_concurrent(ConcurrentNetwork& net, std::size_t threads,
                                    std::uint64_t tokens_per_thread,
                                    std::uint64_t seed) {
   assert(threads >= 1);
+  // Instrumented here, at the run boundary, rather than inside traverse():
+  // a shared counter touched once per token from every thread would be
+  // exactly the contention hot spot this simulator exists to measure.
+  SCNET_COUNTER_ADD("sim.concurrent.tokens", tokens_per_thread * threads);
+  SCNET_TRACE_SPAN("sim", "run_concurrent");
   const auto width = static_cast<std::uint32_t>(net.network().width());
   std::atomic<bool> go{false};
   std::vector<std::thread> pool;

@@ -49,8 +49,25 @@ class ConcurrentNetwork {
 
   [[nodiscard]] const Network& network() const { return linked_.network(); }
 
-  /// Resets all balancer and exit state (requires quiescence).
+  /// Resets all balancer and exit state (requires quiescence). Probe
+  /// counts (if enabled) are reset too.
   void reset();
+
+  /// Allocates per-gate visit counters and starts counting every balancer
+  /// a token crosses (one extra relaxed fetch-add per hop, on a padded
+  /// line private to the probe). Off by default — the probe exists to
+  /// turn the analytical `gate_traffic()` predictions of
+  /// perf/contention_model.h into measured-vs-predicted comparisons
+  /// (docs/observability.md). Requires quiescence.
+  void enable_visit_probe();
+  [[nodiscard]] bool visit_probe_enabled() const {
+    return visit_counts_ != nullptr;
+  }
+
+  /// Tokens that crossed each gate since the probe was enabled (or last
+  /// reset), indexed by gate. Empty when the probe is off. Only meaningful
+  /// in quiescent states.
+  [[nodiscard]] std::vector<std::uint64_t> gate_visits() const;
 
  private:
   struct alignas(64) PaddedCounter {
@@ -60,6 +77,7 @@ class ConcurrentNetwork {
   LinkedNetwork linked_;
   std::unique_ptr<PaddedCounter[]> gate_state_;
   std::unique_ptr<PaddedCounter[]> exit_counts_;  // by logical position
+  std::unique_ptr<PaddedCounter[]> visit_counts_;  // null until enabled
 };
 
 struct ConcurrentRunResult {

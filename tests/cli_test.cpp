@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef SCNET_CLI_PATH
@@ -197,6 +199,72 @@ TEST(Cli, OptimizeStatsReportsBothCachesInOneReport) {
   // optimize --stats routes the pipeline through the shared plan cache, so
   // this fresh process records exactly one plan compilation.
   EXPECT_NE(r.output.find("plan-cache: hits 0 misses 1"), std::string::npos);
+}
+
+TEST(Cli, MetricsDumpsRegistrySortedWithCacheMetricsAlwaysPresent) {
+  const auto r = run_command(kCli + " build --metrics --stats K 2x3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The pinned --stats cache report is unchanged by --metrics...
+  EXPECT_NE(r.output.find("module-cache: hits "), std::string::npos);
+  // ...and the registry dump follows: one "  name = value" line per
+  // metric, sorted. The cache metrics are live in every build
+  // (SCNET_OBS only gates the hot-path macros).
+  const auto metrics_pos = r.output.find("metrics:\n");
+  ASSERT_NE(metrics_pos, std::string::npos);
+  const auto module_pos = r.output.find("  module_cache.hits = ");
+  const auto plan_pos = r.output.find("  plan_cache.capacity = 64\n");
+  ASSERT_NE(module_pos, std::string::npos);
+  ASSERT_NE(plan_pos, std::string::npos);
+  EXPECT_LT(metrics_pos, module_pos);
+  EXPECT_LT(module_pos, plan_pos);  // name-sorted
+  EXPECT_NE(r.output.find("  plan_cache.misses = 0"), std::string::npos);
+}
+
+TEST(Cli, MetricsSeesEngineAndPassCountersWhenCompiledIn) {
+  const auto r = run_command(kCli + " build K 4x4 | " + kCli +
+                             " sort --metrics --engine=plan --batch 64");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metrics:\n"), std::string::npos);
+  EXPECT_NE(r.output.find("  plan_cache.misses = 1"), std::string::npos);
+#if defined(SCNET_OBS) && SCNET_OBS
+  // Hot-path counters advance only when the macros are compiled in.
+  // sort --batch runs the batch kernel once plus the scalar cross-check.
+  EXPECT_NE(r.output.find("  engine.run.batch = 1"), std::string::npos);
+  EXPECT_NE(r.output.find("  opt.pipeline.runs = 1"), std::string::npos);
+  EXPECT_NE(r.output.find("  engine.batch.lanes = count 1 mean 64.0"),
+            std::string::npos);
+#endif
+}
+
+TEST(Cli, TraceWritesChromeTraceFile) {
+  const std::string path =
+      testing::TempDir() + "scnet_cli_test_trace.json";
+  std::remove(path.c_str());
+  const auto r = run_command(kCli + " build K 4x4 | " + kCli +
+                             " sort --trace " + path +
+                             " --engine=plan --batch 16");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace: wrote " + path), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+#if defined(SCNET_OBS) && SCNET_OBS
+  // Compiled-in builds record engine spans; compiled-out builds still
+  // write a valid (empty) trace.
+  EXPECT_NE(json.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceWithoutFileExitsTwo) {
+  const auto r = run_command(kCli + " build K 2x2 --trace");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace requires an output file"),
+            std::string::npos);
 }
 
 TEST(Cli, BadUsageExitsTwo) {

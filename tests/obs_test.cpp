@@ -1,0 +1,314 @@
+// Observability layer: registry counters/histograms under concurrent
+// updates, snapshot consistency, Chrome trace JSON structure, and the
+// ConcurrentNetwork visit probe against the analytical contention model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
+#include "core/k_network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "perf/contention_model.h"
+#include "perf/thread_pool.h"
+#include "sim/concurrent_sim.h"
+
+namespace scn {
+namespace {
+
+// -------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterConcurrentAddsAreExact) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.adds");
+  constexpr int kTasks = 16;
+  constexpr int kAddsPerTask = 10000;
+  ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&c] {
+      for (int i = 0; i < kAddsPerTask; ++i) c.add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+  EXPECT_EQ(reg.value("test.adds"),
+            static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST(Metrics, CounterSameNameIsSameObject) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("test.same");
+  obs::Counter& b = reg.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, HistogramConcurrentRecordsKeepExactCountAndSum) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("test.hist");
+  constexpr int kTasks = 8;
+  constexpr std::uint64_t kPerTask = 5000;
+  ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&h] {
+      for (std::uint64_t v = 1; v <= kPerTask; ++v) h.record(v);
+    });
+  }
+  pool.wait_idle();
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(snap.sum, kTasks * (kPerTask * (kPerTask + 1) / 2));
+  EXPECT_DOUBLE_EQ(snap.mean(), (kPerTask + 1) / 2.0);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantileBounds) {
+  obs::Histogram h;
+  // bucket b = bit_width(v) covers [2^(b-1), 2^b); quantiles answer the
+  // containing bucket's upper bound 2^b - 1.
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1
+  h.record(2);    // bucket 2
+  h.record(3);    // bucket 2
+  h.record(100);  // bucket 7 (64..127)
+  const obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 106u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[7], 1u);
+  EXPECT_EQ(snap.quantile_upper_bound(0.2), 0u);   // first of 5
+  EXPECT_EQ(snap.quantile_upper_bound(0.5), 3u);   // 3rd value is in bucket 2
+  EXPECT_EQ(snap.quantile_upper_bound(0.99), 127u);
+  EXPECT_EQ(snap.max_upper_bound(), 127u);
+}
+
+TEST(Metrics, EmptyHistogramIsZeroes) {
+  const obs::Histogram::Snapshot snap = obs::Histogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.quantile_upper_bound(0.5), 0u);
+  EXPECT_EQ(snap.max_upper_bound(), 0u);
+}
+
+TEST(Metrics, SnapshotIsSortedByNameWithCorrectKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("c.second").add(7);
+  reg.histogram("b.hist").record(42);
+  reg.register_gauge("a.gauge", [] { return std::uint64_t{11}; });
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.gauge");
+  EXPECT_EQ(snap[0].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(snap[0].value, 11u);
+  EXPECT_EQ(snap[1].name, "b.hist");
+  EXPECT_EQ(snap[1].kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(snap[1].histogram.count, 1u);
+  EXPECT_EQ(snap[1].histogram.sum, 42u);
+  EXPECT_EQ(snap[2].name, "c.second");
+  EXPECT_EQ(snap[2].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(snap[2].value, 7u);
+  EXPECT_STREQ(obs::to_string(obs::MetricKind::kGauge), "gauge");
+}
+
+TEST(Metrics, ResetZeroesCountersAndHistogramsButSamplesGaugesLive) {
+  obs::MetricsRegistry reg;
+  std::uint64_t backing = 5;
+  obs::Counter& c = reg.counter("r.counter");
+  obs::Histogram& h = reg.histogram("r.hist");
+  reg.register_gauge("r.gauge", [&backing] { return backing; });
+  c.add(9);
+  h.record(16);
+  reg.reset();
+  backing = 6;
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(reg.value("r.gauge"), 6u);  // gauges are live views, not state
+  // Addresses stay valid after reset: the macro-cached references work.
+  c.add(2);
+  EXPECT_EQ(reg.value("r.counter"), 2u);
+}
+
+TEST(Metrics, UnknownNameReadsAsZero) {
+  const obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.value("never.registered"), 0u);
+}
+
+// --------------------------------------------------------------- tracer
+
+// Structural check, not a full parser: braces/brackets balance outside
+// string literals, so the file loads in chrome://tracing.
+void expect_balanced_json(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, RecordedEventsExportChromeCompleteEvents) {
+  obs::Tracer tracer;
+  tracer.start();
+  tracer.record_complete("work", "test", 1500, 2500, "{\"k\":1}");
+  tracer.record_complete("more \"quoted\"", "test", 5000, 1000);
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped_count(), 0u);
+  const std::string json = tracer.chrome_trace_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // ns are exported as fractional microseconds.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"k\":1}"), std::string::npos);
+  // Quotes in names are escaped, keeping the JSON loadable.
+  EXPECT_NE(json.find("more \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Trace, InactiveTracerRecordsNothing) {
+  obs::Tracer tracer;
+  tracer.record_complete("ignored", "test", 0, 1);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.now_ns(), 0u);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+  expect_balanced_json(json);
+}
+
+TEST(Trace, StartClearsPreviousSession) {
+  obs::Tracer tracer;
+  tracer.start();
+  tracer.record_complete("old", "test", 0, 1);
+  tracer.stop();
+  tracer.start();
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Trace, ScopedSpanRecordsOnlyWhileSharedTracerActive) {
+  obs::Tracer& shared = obs::Tracer::shared();
+  shared.clear();
+  { const obs::ScopedSpan idle("test", "not-recorded"); }
+  EXPECT_EQ(shared.event_count(), 0u);
+  shared.start();
+  {
+    obs::ScopedSpan span("test", "recorded");
+    EXPECT_TRUE(span.armed());
+    span.set_args_json("{\"n\":3}");
+  }
+  // A span that straddles stop() is dropped, not recorded half-open.
+  const std::size_t recorded = shared.event_count();
+  obs::ScopedSpan straddler("test", "straddles-stop");
+  shared.stop();
+  EXPECT_EQ(recorded, 1u);
+  EXPECT_EQ(shared.event_count(), 1u);
+  const std::string json = shared.chrome_trace_json();
+  EXPECT_NE(json.find("\"name\":\"recorded\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"n\":3}"), std::string::npos);
+  shared.clear();
+}
+
+TEST(Trace, TraceSessionWritesLoadableFile) {
+  const std::string path = testing::TempDir() + "scnet_obs_test_trace.json";
+  {
+    obs::TraceSession session(path);
+    EXPECT_EQ(session.path(), path);
+    obs::ScopedSpan span("test", "session-span");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"session-span\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- visit probe
+
+TEST(VisitProbe, OffByDefaultAndEmpty) {
+  const Network net = make_k_network({2, 2});
+  ConcurrentNetwork cn(net);
+  EXPECT_FALSE(cn.visit_probe_enabled());
+  EXPECT_TRUE(cn.gate_visits().empty());
+  cn.traverse(0);  // no probe: traversal must still work
+  EXPECT_TRUE(cn.gate_visits().empty());
+}
+
+TEST(VisitProbe, CountsEveryHopAndResets) {
+  // K(2x2): every token crosses one depth-1 gate then one depth-2 gate.
+  const Network net = make_k_network({2, 2});
+  ConcurrentNetwork cn(net);
+  cn.enable_visit_probe();
+  ASSERT_TRUE(cn.visit_probe_enabled());
+  for (int i = 0; i < 12; ++i) cn.traverse(static_cast<Wire>(i % 4));
+  const std::vector<std::uint64_t> visits = cn.gate_visits();
+  ASSERT_EQ(visits.size(), net.gate_count());
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), std::uint64_t{0}),
+            12u * net.depth());
+  cn.reset();
+  const std::vector<std::uint64_t> after = cn.gate_visits();
+  EXPECT_EQ(std::accumulate(after.begin(), after.end(), std::uint64_t{0}), 0u);
+}
+
+TEST(VisitProbe, MeasuredTrafficMatchesContentionModel) {
+  const Network net = make_k_network({4, 4});
+  ConcurrentNetwork cn(net);
+  cn.enable_visit_probe();
+  const ConcurrentRunResult run = run_concurrent(cn, 2, 20000, /*seed=*/7);
+  const std::vector<std::uint64_t> visits = cn.gate_visits();
+
+  // Mean measured hops per token == the model's mean path length.
+  const auto total_hops =
+      std::accumulate(visits.begin(), visits.end(), std::uint64_t{0});
+  const ContentionEstimate est = estimate_contention(net);
+  EXPECT_NEAR(static_cast<double>(total_hops) /
+                  static_cast<double>(run.tokens),
+              est.hops_per_token, 1e-9);
+
+  // Hottest-gate traffic within the documented 10% tolerance
+  // (docs/observability.md; bench_obs_overhead gates the same bound).
+  const ContentionComparison cmp =
+      compare_contention(net, visits, run.tokens);
+  EXPECT_EQ(cmp.tokens, run.tokens);
+  EXPECT_GT(cmp.predicted_hottest, 0.0);
+  EXPECT_LE(cmp.hottest_relative_error(), 0.10)
+      << "predicted " << cmp.predicted_hottest << " measured "
+      << cmp.measured_hottest;
+  EXPECT_LE(cmp.mean_abs_error, 0.05);
+}
+
+}  // namespace
+}  // namespace scn

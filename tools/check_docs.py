@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Doc lint: repository paths and relative links in *.md must resolve.
+
+Checks every Markdown file in the repository (skipping build trees) for:
+
+  1. repo-relative path references — any token that looks like
+     ``src/...``, ``docs/...``, ``bench/...``, ``tests/...``,
+     ``tools/...`` or ``examples/...`` must name something that exists.
+     Brace sets expand (``core/module.{h,cpp}``), ``*`` globs
+     (``core/family.*``, ``bench/bench_*``) must match at least one
+     file, and bare directory references (``src/obs/``) must be
+     directories.
+  2. relative Markdown links — ``[text](other.md)`` and
+     ``[text](other.md#anchor)`` must point at an existing file.
+
+Exit status 0 when everything resolves, 1 with one line per dangling
+reference otherwise. Run from anywhere:
+
+    python3 tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import glob
+import itertools
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories whose *.md we lint (repo root + these, recursively).
+DOC_DIRS = ["docs", "tools", "bench", "tests", "examples", "src", ".github"]
+SKIP_DIR_PARTS = {"build", "build-obs-off", ".git", "related"}
+
+# A path reference: a known top-level dir, then path characters. Brace
+# sets ({h,cpp}) are matched as a unit; a trailing '/' marks a directory.
+PATH_RE = re.compile(
+    r"\b(?:src|docs|bench|tests|tools|examples)/"
+    r"(?:[\w.\-*]+(?:\{[\w.,]+\})?/?)+"
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+# Benchmarks and tests are referenced by target name ("bench_depth_k"),
+# and prose sometimes names a path that is a *concept* rather than a
+# file; list deliberate exceptions here.
+ALLOWED_MISSING: set[str] = set()
+
+
+def md_files() -> list[Path]:
+    files = sorted(REPO.glob("*.md"))
+    for d in DOC_DIRS:
+        files.extend(sorted((REPO / d).rglob("*.md")))
+    return [
+        f
+        for f in files
+        if not SKIP_DIR_PARTS.intersection(f.relative_to(REPO).parts)
+    ]
+
+
+def expand_braces(ref: str) -> list[str]:
+    """core/module.{h,cpp} -> [core/module.h, core/module.cpp]."""
+    parts = re.split(r"(\{[\w.,]+\})", ref)
+    options = [
+        p[1:-1].split(",") if p.startswith("{") else [p] for p in parts
+    ]
+    return ["".join(combo) for combo in itertools.product(*options)]
+
+
+def resolve(ref: str) -> bool:
+    """True when the repo-relative reference names something real."""
+    for candidate in expand_braces(ref):
+        want_dir = candidate.endswith("/")
+        candidate = candidate.rstrip("/")
+        if "*" in candidate:
+            if not glob.glob(str(REPO / candidate)):
+                return False
+            continue
+        path = REPO / candidate
+        # "src/core/family" (no extension) abbreviates family.h/.cpp;
+        # accept any extension-completed match.
+        if want_dir:
+            if not path.is_dir():
+                return False
+        elif not path.exists() and not glob.glob(str(path) + ".*"):
+            return False
+    return True
+
+
+def strip_punctuation(ref: str) -> str:
+    return ref.rstrip(".,;:")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for md in md_files():
+        rel_md = md.relative_to(REPO)
+        text = md.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in PATH_RE.finditer(line):
+                ref = strip_punctuation(match.group(0))
+                if ref in ALLOWED_MISSING:
+                    continue
+                if not resolve(ref):
+                    errors.append(f"{rel_md}:{lineno}: dangling path {ref!r}")
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if "://" in target or target.startswith("mailto:"):
+                    continue
+                if not (md.parent / target).exists():
+                    errors.append(
+                        f"{rel_md}:{lineno}: dangling link {target!r}"
+                    )
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"check_docs: {len(errors)} dangling reference(s)")
+        return 1
+    print(f"check_docs: OK ({len(md_files())} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
