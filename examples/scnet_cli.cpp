@@ -456,16 +456,20 @@ int main(int argc, char** argv) {
     filtered.push_back(argv[i]);
   }
 
-  int rc;
-  {
-    // Scoped so the trace file is written before the metrics report.
-    std::optional<scn::TraceSession> session;
-    if (!trace_path.empty()) session.emplace(trace_path);
-    rc = dispatch(static_cast<int>(filtered.size()), filtered.data());
-  }
-  if (!trace_path.empty()) {
-    std::fprintf(stderr, "trace: wrote %s (%zu events)\n", trace_path.c_str(),
-                 scn::obs::Tracer::shared().event_count());
+  std::optional<scn::TraceSession> session;
+  if (!trace_path.empty()) session.emplace(trace_path);
+  int rc = dispatch(static_cast<int>(filtered.size()), filtered.data());
+  if (session) {
+    // Finish explicitly (before the metrics report) so a failed write —
+    // bad path, full disk — is reported and fails the run.
+    if (session->finish()) {
+      std::fprintf(stderr, "trace: wrote %s (%zu events)\n",
+                   trace_path.c_str(),
+                   scn::obs::Tracer::shared().event_count());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path.c_str());
+      if (rc == 0) rc = 1;
+    }
   }
   if (metrics) print_metrics();
   return rc;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -72,6 +73,21 @@ struct ModuleCache::Impl {
   obs::Counter local_hits, local_misses;
   obs::Counter* hits = &local_hits;
   obs::Counter* misses = &local_misses;
+
+  // Gauge-visible mirrors of table.size() / bytes. Gauges run under the
+  // registry lock, so they must never take `mu` (plan_cache.cpp documents
+  // the full lock-order argument); they sample these atomics instead.
+  // shared_ptr keeps the callbacks valid past this instance's lifetime.
+  std::shared_ptr<std::atomic<std::uint64_t>> entries_gauge =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  std::shared_ptr<std::atomic<std::uint64_t>> bytes_gauge =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+
+  // Call with `mu` held after any table/bytes mutation.
+  void publish_sizes() {
+    entries_gauge->store(table.size(), std::memory_order_relaxed);
+    bytes_gauge->store(bytes, std::memory_order_relaxed);
+  }
 };
 
 ModuleCache::ModuleCache() : impl_(std::make_unique<Impl>()) {}
@@ -82,14 +98,11 @@ ModuleCache::ModuleCache(const char* metric_prefix)
   auto& reg = obs::MetricsRegistry::shared();
   impl_->hits = &reg.counter(prefix + ".hits");
   impl_->misses = &reg.counter(prefix + ".misses");
-  Impl* impl = impl_.get();
-  reg.register_gauge(prefix + ".entries", [impl] {
-    const std::lock_guard<std::mutex> lock(impl->mu);
-    return static_cast<std::uint64_t>(impl->table.size());
+  reg.register_gauge(prefix + ".entries", [entries = impl_->entries_gauge] {
+    return entries->load(std::memory_order_relaxed);
   });
-  reg.register_gauge(prefix + ".bytes", [impl] {
-    const std::lock_guard<std::mutex> lock(impl->mu);
-    return static_cast<std::uint64_t>(impl->bytes);
+  reg.register_gauge(prefix + ".bytes", [bytes = impl_->bytes_gauge] {
+    return bytes->load(std::memory_order_relaxed);
   });
 }
 
@@ -110,7 +123,10 @@ std::shared_ptr<const Network> ModuleCache::intern(
   auto built = std::make_shared<const Network>(build());
   const std::lock_guard<std::mutex> lock(impl_->mu);
   const auto [it, inserted] = impl_->table.emplace(key, std::move(built));
-  if (inserted) impl_->bytes += network_storage_bytes(*it->second);
+  if (inserted) {
+    impl_->bytes += network_storage_bytes(*it->second);
+    impl_->publish_sizes();
+  }
   return it->second;
 }
 
@@ -138,6 +154,7 @@ void ModuleCache::clear() {
   impl_->hits->reset();
   impl_->misses->reset();
   impl_->bytes = 0;
+  impl_->publish_sizes();
 }
 
 ModuleCache& ModuleCache::shared() {

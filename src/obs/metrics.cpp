@@ -84,7 +84,15 @@ Counter& MetricsRegistry::counter(std::string_view name) {
              .emplace(std::string(name), std::make_unique<Counter>())
              .first;
   }
-  return *std::get<std::unique_ptr<Counter>>(it->second);
+  if (auto* c = std::get_if<std::unique_ptr<Counter>>(&it->second)) {
+    return **c;
+  }
+  // `name` is already bound to another kind. Returning a process-wide
+  // sink keeps the contract (stable address, lock-free adds) for the
+  // misconfigured call site instead of throwing or clobbering the
+  // existing metric; its updates are simply not reported.
+  static Counter* sink = new Counter();
+  return *sink;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
@@ -95,13 +103,27 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
              .emplace(std::string(name), std::make_unique<Histogram>())
              .first;
   }
-  return *std::get<std::unique_ptr<Histogram>>(it->second);
+  if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&it->second)) {
+    return **h;
+  }
+  static Histogram* sink = new Histogram();  // see counter()
+  return *sink;
 }
 
 void MetricsRegistry::register_gauge(std::string_view name,
                                      std::function<std::uint64_t()> read) {
   const std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->table.insert_or_assign(std::string(name), Metric(std::move(read)));
+  const auto it = impl_->table.find(name);
+  if (it == impl_->table.end()) {
+    impl_->table.emplace(std::string(name), Metric(std::move(read)));
+    return;
+  }
+  // Replacing a gauge is fine (re-registration of a live view); replacing
+  // a Counter/Histogram would dangle the references call sites cached, so
+  // a cross-kind collision leaves the existing metric in place.
+  if (std::holds_alternative<Gauge>(it->second)) {
+    it->second = Metric(std::move(read));
+  }
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

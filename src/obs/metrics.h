@@ -130,11 +130,17 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Returns the counter registered under `name`, creating it on first use.
+  /// Names are one kind forever: if `name` is already bound to a gauge or
+  /// histogram, a process-wide sink counter is returned instead (valid and
+  /// lock-free, but not reported) rather than throwing or replacing the
+  /// existing metric. Same rule for histogram().
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name);
 
-  /// Registers (or replaces) a gauge: `read` is sampled at snapshot time.
-  /// The callback must be thread-safe and must not call back into the
+  /// Registers a gauge: `read` is sampled at snapshot time. Re-registering
+  /// a gauge name replaces its callback; a name already bound to a counter
+  /// or histogram is left untouched (call sites may hold references into
+  /// it). The callback must be thread-safe and must not call back into the
   /// registry (it runs under the registry lock).
   void register_gauge(std::string_view name,
                       std::function<std::uint64_t()> read);

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -53,13 +54,23 @@ void append_escaped(std::string& out, std::string_view s) {
   }
 }
 
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 struct Tracer::Impl {
   mutable std::mutex mu;
   std::vector<TraceEvent> events;
   std::uint64_t dropped = 0;
-  Clock::time_point epoch{};
+  // Steady-clock nanoseconds at start(). Atomic, not mutex-guarded:
+  // now_ns() runs on every span open/close and must not race a
+  // concurrent start() on another thread.
+  std::atomic<std::uint64_t> epoch_ns{0};
 };
 
 Tracer::Tracer() : impl_(std::make_unique<Impl>()) {}
@@ -70,7 +81,7 @@ void Tracer::start() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->events.clear();
   impl_->dropped = 0;
-  impl_->epoch = Clock::now();
+  impl_->epoch_ns.store(steady_now_ns(), std::memory_order_release);
   active_.store(true, std::memory_order_release);
 }
 
@@ -84,10 +95,9 @@ void Tracer::clear() {
 
 std::uint64_t Tracer::now_ns() const {
   if (!active()) return 0;
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           impl_->epoch)
-          .count());
+  const std::uint64_t epoch = impl_->epoch_ns.load(std::memory_order_acquire);
+  const std::uint64_t now = steady_now_ns();
+  return now >= epoch ? now - epoch : 0;
 }
 
 void Tracer::record_complete(std::string_view name, std::string_view category,

@@ -136,8 +136,10 @@ class ScopedSpan {
 };
 
 /// RAII trace capture: starts the shared tracer on construction, stops
-/// it and writes the Chrome JSON to `path` on destruction. The CLI's
-/// `--trace out.json` and api/high_level.h re-export use this directly.
+/// it and writes the Chrome JSON to `path` on destruction (or on an
+/// explicit finish(), which additionally reports whether the write
+/// succeeded). The CLI's `--trace out.json` and api/high_level.h
+/// re-export use this directly.
 class TraceSession {
  public:
   explicit TraceSession(std::string path) : path_(std::move(path)) {
@@ -147,15 +149,29 @@ class TraceSession {
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
 
-  ~TraceSession() {
-    Tracer::shared().stop();
-    ok_ = Tracer::shared().write_chrome_trace(path_);
+  ~TraceSession() { finish(); }
+
+  /// Stops recording and writes the trace file. Idempotent — the first
+  /// call does the work, later calls (including the destructor's) return
+  /// the recorded outcome. Returns false if the file could not be
+  /// written (bad path, I/O error).
+  bool finish() {
+    if (!finished_) {
+      finished_ = true;
+      Tracer::shared().stop();
+      ok_ = Tracer::shared().write_chrome_trace(path_);
+    }
+    return ok_;
   }
+
+  /// Outcome of the write; false until finish() has run.
+  [[nodiscard]] bool ok() const { return ok_; }
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   std::string path_;
+  bool finished_ = false;
   bool ok_ = false;
 };
 

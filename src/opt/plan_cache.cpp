@@ -1,7 +1,9 @@
 #include "opt/plan_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -87,7 +89,22 @@ struct PlanCache::Impl {
   obs::Counter* misses = &local_misses;
   obs::Counter* evictions = &local_evictions;
 
+  // Mirror of lru.size() for the entries gauge. The gauge runs under the
+  // REGISTRY lock, so it must not take `mu`: the miss path compiles under
+  // `mu` and its instrumentation macros take the registry lock on
+  // first-use resolution (mu -> registry); a gauge locking `mu` would
+  // order registry -> mu and the two snapshots could deadlock. Sampling
+  // this atomic keeps the lock order acyclic. shared_ptr so the gauge
+  // stays valid (reporting the last size) even if the cache is destroyed.
+  std::shared_ptr<std::atomic<std::uint64_t>> entries =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+
   explicit Impl(std::size_t cap) : capacity(std::max<std::size_t>(1, cap)) {}
+
+  // Call with `mu` held after any lru mutation.
+  void publish_entries() {
+    entries->store(lru.size(), std::memory_order_relaxed);
+  }
 };
 
 PlanCache::PlanCache(std::size_t capacity)
@@ -100,18 +117,17 @@ PlanCache::PlanCache(std::size_t capacity, const char* metric_prefix)
   impl_->hits = &reg.counter(prefix + ".hits");
   impl_->misses = &reg.counter(prefix + ".misses");
   impl_->evictions = &reg.counter(prefix + ".evictions");
-  // Entries/capacity are live views of cache state, sampled at snapshot
-  // time (gauge callbacks lock the cache mutex under the registry lock;
-  // cache operations never take the registry lock, so the order is
-  // acyclic). The instance must outlive the registry's use of these
-  // callbacks — shared() leaks its instance for exactly that reason.
-  Impl* impl = impl_.get();
-  reg.register_gauge(prefix + ".entries", [impl] {
-    const std::lock_guard<std::mutex> lock(impl->mu);
-    return static_cast<std::uint64_t>(impl->lru.size());
+  // Entries/capacity are sampled at snapshot time without touching the
+  // cache mutex (see Impl::entries for the lock-order argument: the miss
+  // path takes the registry lock under `mu`, so gauges — which run under
+  // the registry lock — must never take `mu`). Capturing the shared_ptr /
+  // the capacity value keeps the callbacks valid for the registry's whole
+  // lifetime even if this instance is destroyed.
+  reg.register_gauge(prefix + ".entries", [entries = impl_->entries] {
+    return entries->load(std::memory_order_relaxed);
   });
-  reg.register_gauge(prefix + ".capacity", [impl] {
-    return static_cast<std::uint64_t>(impl->capacity);
+  reg.register_gauge(prefix + ".capacity", [cap = impl_->capacity] {
+    return static_cast<std::uint64_t>(cap);
   });
 }
 
@@ -153,6 +169,7 @@ CachedPlan PlanCache::compiled(const Network& net, PassLevel level,
     impl_->lru.pop_back();
     impl_->evictions->add(1);
   }
+  impl_->publish_entries();
   const Entry& front = impl_->lru.front();
   return {front.plan, front.passes, false};
 }
@@ -172,15 +189,15 @@ void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->lru.clear();
   impl_->index.clear();
+  impl_->publish_entries();
   impl_->hits->reset();
   impl_->misses->reset();
   impl_->evictions->reset();
 }
 
 PlanCache& PlanCache::shared() {
-  // Leaked: the registry gauges registered by the metric-prefix
-  // constructor capture Impl*, and the (also leaked) registry may be
-  // snapshotted during static destruction.
+  // Leaked: compiled_plan() call sites may race static destruction, and
+  // the (also leaked) registry may be snapshotted at any point.
   static PlanCache* cache = new PlanCache(64, "plan_cache");
   return *cache;
 }

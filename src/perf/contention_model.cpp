@@ -1,7 +1,6 @@
 #include "perf/contention_model.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace scn {
 
@@ -46,17 +45,18 @@ ContentionEstimate estimate_contention(const Network& net) {
 ContentionComparison compare_contention(const Network& net,
                                         std::span<const std::uint64_t> visits,
                                         std::uint64_t tokens) {
-  assert(visits.size() == net.gate_count());
   ContentionComparison cmp;
   cmp.tokens = tokens;
   const auto traffic = gate_traffic(net);
   double abs_error_sum = 0.0;
   for (std::size_t g = 0; g < traffic.size(); ++g) {
     const double predicted = traffic[g].fraction;
+    // Gates beyond the probe data (probe disabled, or a mismatched
+    // network) count as unvisited rather than reading out of bounds.
     const double measured =
-        tokens == 0 ? 0.0
-                    : static_cast<double>(visits[g]) /
-                          static_cast<double>(tokens);
+        (tokens == 0 || g >= visits.size())
+            ? 0.0
+            : static_cast<double>(visits[g]) / static_cast<double>(tokens);
     if (predicted > cmp.predicted_hottest) {
       cmp.predicted_hottest = predicted;
       cmp.predicted_gate = g;

@@ -92,8 +92,10 @@ struct ContentionComparison {
 };
 
 /// Joins estimate-side gate_traffic(net) with probe-side visit counts
-/// (`visits` must be indexed by gate, `tokens` the total routed — both
-/// from ConcurrentNetwork::gate_visits() after a run).
+/// (`visits` indexed by gate, `tokens` the total routed — both from
+/// ConcurrentNetwork::gate_visits() after a run). Gates without probe
+/// data (`visits` shorter than the gate count, e.g. the probe was never
+/// enabled) are treated as unvisited (measured fraction 0).
 [[nodiscard]] ContentionComparison compare_contention(
     const Network& net, std::span<const std::uint64_t> visits,
     std::uint64_t tokens);

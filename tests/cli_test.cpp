@@ -260,6 +260,16 @@ TEST(Cli, TraceWritesChromeTraceFile) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, TraceWriteFailureIsReportedAndFailsTheRun) {
+  const std::string path =
+      testing::TempDir() + "scnet_cli_no_such_dir/trace.json";
+  const auto r = run_command(kCli + " build K 2x2 --trace " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace: failed to write " + path),
+            std::string::npos);
+  EXPECT_EQ(r.output.find("trace: wrote"), std::string::npos);
+}
+
 TEST(Cli, TraceWithoutFileExitsTwo) {
   const auto r = run_command(kCli + " build K 2x2 --trace");
   EXPECT_EQ(r.exit_code, 2);

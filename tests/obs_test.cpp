@@ -138,6 +138,33 @@ TEST(Metrics, UnknownNameReadsAsZero) {
   EXPECT_EQ(reg.value("never.registered"), 0u);
 }
 
+TEST(Metrics, CrossKindNameCollisionNeverInvalidatesExistingMetric) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("x.name");
+  c.add(4);
+  // Registering a gauge under a counter's name must not destroy the
+  // counter (call sites hold cached references into it).
+  reg.register_gauge("x.name", [] { return std::uint64_t{99}; });
+  c.add(1);  // still a valid object
+  EXPECT_EQ(reg.value("x.name"), 5u);  // and still the reported metric
+  // Requesting the wrong kind for a bound name yields a usable sink
+  // instead of throwing; the registered metric keeps reporting.
+  obs::Histogram& hist_sink = reg.histogram("x.name");
+  hist_sink.record(7);
+  EXPECT_EQ(reg.value("x.name"), 5u);
+  reg.register_gauge("g.name", [] { return std::uint64_t{1}; });
+  obs::Counter& counter_sink = reg.counter("g.name");
+  counter_sink.add(3);
+  EXPECT_EQ(reg.value("g.name"), 1u);  // gauge untouched
+}
+
+TEST(Metrics, GaugeReregistrationReplacesCallback) {
+  obs::MetricsRegistry reg;
+  reg.register_gauge("g.live", [] { return std::uint64_t{1}; });
+  reg.register_gauge("g.live", [] { return std::uint64_t{2}; });
+  EXPECT_EQ(reg.value("g.live"), 2u);
+}
+
 // --------------------------------------------------------------- tracer
 
 // Structural check, not a full parser: braces/brackets balance outside
@@ -256,6 +283,23 @@ TEST(Trace, TraceSessionWritesLoadableFile) {
   std::remove(path.c_str());
 }
 
+TEST(Trace, TraceSessionReportsWriteFailure) {
+  const std::string good = testing::TempDir() + "scnet_obs_test_finish.json";
+  {
+    obs::TraceSession session(good);
+    EXPECT_FALSE(session.ok());  // not written yet
+    EXPECT_TRUE(session.finish());
+    EXPECT_TRUE(session.ok());
+    EXPECT_TRUE(session.finish());  // idempotent
+  }
+  std::remove(good.c_str());
+
+  obs::TraceSession bad(testing::TempDir() +
+                        "scnet_obs_no_such_dir/trace.json");
+  EXPECT_FALSE(bad.finish());
+  EXPECT_FALSE(bad.ok());
+}
+
 // ---------------------------------------------------------- visit probe
 
 TEST(VisitProbe, OffByDefaultAndEmpty) {
@@ -308,6 +352,17 @@ TEST(VisitProbe, MeasuredTrafficMatchesContentionModel) {
       << "predicted " << cmp.predicted_hottest << " measured "
       << cmp.measured_hottest;
   EXPECT_LE(cmp.mean_abs_error, 0.05);
+}
+
+TEST(VisitProbe, CompareContentionWithoutProbeDataTreatsGatesAsUnvisited) {
+  // A probe that was never enabled yields an empty visit vector; the
+  // comparison must stay in bounds and report zero measured traffic.
+  const Network net = make_k_network({4, 4});
+  const std::vector<std::uint64_t> no_visits;
+  const ContentionComparison cmp = compare_contention(net, no_visits, 100);
+  EXPECT_GT(cmp.predicted_hottest, 0.0);
+  EXPECT_EQ(cmp.measured_hottest, 0.0);
+  EXPECT_EQ(cmp.tokens, 100u);
 }
 
 }  // namespace

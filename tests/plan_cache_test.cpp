@@ -3,14 +3,18 @@
 // plans against the per-gate interpreter.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
 
 #include "baseline/bitonic.h"
 #include "core/k_network.h"
 #include "core/l_network.h"
 #include "engine/batch_engine.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "opt/plan_cache.h"
+#include "perf/thread_pool.h"
 #include "seq/generators.h"
 #include "sim/comparator_sim.h"
 
@@ -132,6 +136,35 @@ TEST(PlanCache, CachedPlanMatchesInterpreterOnEveryLevel) {
           << to_string(level);
     }
   }
+}
+
+TEST(PlanCache, SharedCacheMissesRaceRegistrySnapshotsWithoutDeadlock) {
+  // Regression for a lock-order inversion: the shared cache's miss path
+  // optimizes and compiles under the cache mutex, and its instrumentation
+  // may take the registry lock (first-use counter resolution) — so the
+  // registry-side entries gauge must never lock the cache mutex. Misses
+  // racing snapshots here deadlocked before the gauge sampled an atomic.
+  std::atomic<bool> stop{false};
+  std::thread sampler([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)obs::MetricsRegistry::shared().snapshot();
+      (void)obs::MetricsRegistry::shared().value("plan_cache.entries");
+    }
+  });
+  {
+    ThreadPool pool(4);
+    for (std::size_t k = 2; k <= 9; ++k) {
+      pool.submit([k] {
+        (void)compiled_plan(make_k_network({2, k}), PassLevel::kDefault);
+      });
+    }
+    pool.wait_idle();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  // The gauge mirrors the cache's entry count exactly when quiescent.
+  EXPECT_EQ(obs::MetricsRegistry::shared().value("plan_cache.entries"),
+            PlanCache::shared().stats().entries);
 }
 
 TEST(PlanCache, ProvenanceTravelsWithThePlan) {
