@@ -5,10 +5,14 @@
 // template build per distinct parameterization plus flat gate stamping.
 // This harness measures, for L across widths:
 //
-//   imperative  SCNET_MODULE_CACHE=0 path: the original recursive build
+//   imperative  interning disabled: the original recursive build
 //   cold        interning enabled, cache cleared first: template builds +
 //               stamping (what the first construction in a process pays)
 //   warm        interning enabled, templates resident: pure stamping
+//
+// Each phase runs against its own private scn::Runtime, so the numbers are
+// order-independent: nothing this process built earlier (and nothing a
+// phase builds) leaks warm templates into another phase's cache.
 //
 // The preamble emits BENCH_construct.json and the process exits non-zero
 // if warm construction is not at least kMinWarmSpeedup x faster than the
@@ -28,6 +32,7 @@
 #include "core/l_network.h"
 #include "core/module.h"
 #include "net/serialize.h"
+#include "runtime/runtime.h"
 
 namespace {
 
@@ -68,30 +73,32 @@ Measurement measure(const std::vector<std::size_t>& factors) {
   Measurement m;
   m.label = "L(" + format_factors(factors) + ")";
 
-  Network imperative_net;
-  {
-    ScopedModuleCacheToggle off(false);
-    imperative_net = make_l_network(factors);
-    m.imperative_s = best_time([&] {
-      benchmark::DoNotOptimize(make_l_network(factors));
-    });
-  }
+  // Fresh Runtimes per phase: the imperative phase never interns, the cold
+  // phase starts from an empty cache on every rep, and the warm phase is
+  // warmed by exactly one build — regardless of what ran before.
+  Runtime imperative_rt(Runtime::Options{.module_cache = false});
+  const Network imperative_net = make_l_network(factors, imperative_rt);
+  m.imperative_s = best_time([&] {
+    benchmark::DoNotOptimize(make_l_network(factors, imperative_rt));
+  });
   m.width = imperative_net.width();
   m.gates = imperative_net.gate_count();
   m.depth = imperative_net.depth();
 
-  ScopedModuleCacheToggle on(true);
+  Runtime cold_rt(Runtime::Options{.module_cache = true});
   m.cold_s = best_time([&] {
-    ModuleCache::shared().clear();
-    benchmark::DoNotOptimize(make_l_network(factors));
+    cold_rt.module_cache().clear();
+    benchmark::DoNotOptimize(make_l_network(factors, cold_rt));
   });
-  ModuleCache::shared().clear();
-  const Network warm_net = make_l_network(factors);  // leave templates hot
-  const ModuleCacheStats stats = ModuleCache::shared().stats();
+
+  Runtime warm_rt(Runtime::Options{.module_cache = true});
+  const Network warm_net =
+      make_l_network(factors, warm_rt);  // leave templates hot
+  const ModuleCacheStats stats = warm_rt.module_cache().stats();
   m.templates = stats.entries;
   m.template_bytes = stats.bytes;
   m.warm_s = best_time([&] {
-    benchmark::DoNotOptimize(make_l_network(factors));
+    benchmark::DoNotOptimize(make_l_network(factors, warm_rt));
   });
   m.identical =
       serialize_network(warm_net) == serialize_network(imperative_net);
@@ -153,27 +160,27 @@ void emit_report(const std::vector<Measurement>& ms) {
 // --- google-benchmark timing loops -----------------------------------
 
 void BM_ConstructL720Warm(benchmark::State& state) {
-  ScopedModuleCacheToggle on(true);
-  (void)make_l_network({8, 9, 10});
+  Runtime rt(Runtime::Options{.module_cache = true});
+  (void)make_l_network({8, 9, 10}, rt);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(make_l_network({8, 9, 10}));
+    benchmark::DoNotOptimize(make_l_network({8, 9, 10}, rt));
   }
 }
 BENCHMARK(BM_ConstructL720Warm)->Unit(benchmark::kMillisecond);
 
 void BM_ConstructL720Imperative(benchmark::State& state) {
-  ScopedModuleCacheToggle off(false);
+  Runtime rt(Runtime::Options{.module_cache = false});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(make_l_network({8, 9, 10}));
+    benchmark::DoNotOptimize(make_l_network({8, 9, 10}, rt));
   }
 }
 BENCHMARK(BM_ConstructL720Imperative)->Unit(benchmark::kMillisecond);
 
 void BM_ConstructK64Warm(benchmark::State& state) {
-  ScopedModuleCacheToggle on(true);
-  (void)make_k_network({4, 4, 4});
+  Runtime rt(Runtime::Options{.module_cache = true});
+  (void)make_k_network({4, 4, 4}, rt);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(make_k_network({4, 4, 4}));
+    benchmark::DoNotOptimize(make_k_network({4, 4, 4}, rt));
   }
 }
 BENCHMARK(BM_ConstructK64Warm)->Unit(benchmark::kMicrosecond);

@@ -30,6 +30,7 @@
 #include "net/transform.h"
 #include "opt/pass.h"
 #include "opt/plan_cache.h"
+#include "runtime/runtime.h"
 #include "seq/generators.h"
 
 namespace {
@@ -215,7 +216,8 @@ void BM_CacheHitLookupBatcher120(benchmark::State& state) {
 BENCHMARK(BM_CacheHitLookupBatcher120)->Unit(benchmark::kMicrosecond);
 
 void BM_CacheMissCompileK100(benchmark::State& state) {
-  const Network net = make_k_network({4, 5, 5});
+  Runtime rt;  // fresh runtime: construction never touches the shared caches
+  const Network net = make_k_network({4, 5, 5}, rt);
   PlanCache cache(4);
   for (auto _ : state) {
     cache.clear();
@@ -228,10 +230,25 @@ BENCHMARK(BM_CacheMissCompileK100)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   std::vector<Measurement> ms;
-  ms.push_back(measure("K(2x3x4)", make_k_network({2, 3, 4})));
-  ms.push_back(measure("K(4x5x5)", make_k_network({4, 5, 5})));
-  ms.push_back(measure("L(2x3x4)", make_l_network({2, 3, 4})));
-  ms.push_back(measure("L(4x4x4)", make_l_network({4, 4, 4})));
+  // Each measured network is built against its own fresh Runtime (and
+  // measure() uses private PlanCaches), so no phase warms state another
+  // phase observes: BENCH_passes.json is order-independent.
+  {
+    Runtime rt;
+    ms.push_back(measure("K(2x3x4)", make_k_network({2, 3, 4}, rt)));
+  }
+  {
+    Runtime rt;
+    ms.push_back(measure("K(4x5x5)", make_k_network({4, 5, 5}, rt)));
+  }
+  {
+    Runtime rt;
+    ms.push_back(measure("L(2x3x4)", make_l_network({2, 3, 4}, rt)));
+  }
+  {
+    Runtime rt;
+    ms.push_back(measure("L(4x4x4)", make_l_network({4, 4, 4}, rt)));
+  }
   ms.push_back(measure("bitonic32", make_bitonic_network(5)));
   ms.push_back(measure("batcher120", batcher120()));
   // A redundant composition: a full sorter followed by another sorting

@@ -26,6 +26,9 @@
 // Global options (any command, stripped before dispatch):
 //   --metrics            dump the full metrics registry to stderr on exit
 //   --trace out.json     record spans and write a chrome://tracing file
+//   --isolated           run the command in a fresh private Runtime (own
+//                        module/plan caches and metric namespace) instead of
+//                        the process-wide Runtime::shared()
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -53,6 +56,7 @@
 #include "opt/plan_cache.h"
 #include "perf/contention_model.h"
 #include "perf/thread_pool.h"
+#include "runtime/runtime.h"
 #include "seq/generators.h"
 #include "sim/comparator_sim.h"
 #include "sim/count_sim.h"
@@ -82,7 +86,8 @@ int usage() {
                "[--semantics={comparator|balancer}] < net.scnet\n"
                "global options (any command):\n"
                "  --metrics            dump the metrics registry to stderr\n"
-               "  --trace <out.json>   write a chrome://tracing span file\n");
+               "  --trace <out.json>   write a chrome://tracing span file\n"
+               "  --isolated           run in a fresh private Runtime\n");
   return 2;
 }
 
@@ -118,8 +123,8 @@ std::size_t log2_exact(std::size_t w) {
 
 // The pinned one-report cache section shared by `build --stats` and
 // `optimize --stats` (cli_test locks the field names and order).
-void print_cache_stats() {
-  const CacheStatsReport s = cache_stats();
+void print_cache_stats(Runtime& rt) {
+  const CacheStatsReport s = cache_stats(rt);
   const std::uint64_t module_total = s.module_hits + s.module_misses;
   std::fprintf(stderr,
                "module-cache: hits %llu misses %llu entries %zu bytes %zu "
@@ -140,7 +145,7 @@ void print_cache_stats() {
                s.plan_entries, s.plan_capacity);
 }
 
-int cmd_build(int argc, char** argv) {
+int cmd_build(Runtime& rt, int argc, char** argv) {
   bool stats = false;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
@@ -162,7 +167,8 @@ int cmd_build(int argc, char** argv) {
         return 2;
       }
     }
-    net = kind == "K" ? make_k_network(factors) : make_l_network(factors);
+    net = kind == "K" ? make_k_network(factors, rt)
+                      : make_l_network(factors, rt);
   } else if (kind == "R") {
     if (args.size() < 3) return usage();
     const std::size_t p = std::strtoul(args[1].c_str(), nullptr, 10);
@@ -171,7 +177,7 @@ int cmd_build(int argc, char** argv) {
       std::fprintf(stderr, "R needs p, q >= 2\n");
       return 2;
     }
-    net = make_r_network(p, q);
+    net = make_r_network(p, q, rt);
   } else if (kind == "bitonic") {
     net = make_bitonic_network(
         log2_exact(std::strtoul(args[1].c_str(), nullptr, 10)));
@@ -191,13 +197,13 @@ int cmd_build(int argc, char** argv) {
         stderr, "build: %s width %zu gates %zu depth %u in %.3f ms\n",
         kind.c_str(), net.width(), net.gate_count(), net.depth(),
         std::chrono::duration<double, std::milli>(t1 - t0).count());
-    print_cache_stats();
+    print_cache_stats(rt);
   }
   std::fputs(serialize_network(net).c_str(), stdout);
   return 0;
 }
 
-int cmd_sort(const Network& net, int argc, char** argv) {
+int cmd_sort(Runtime& rt, const Network& net, int argc, char** argv) {
   std::string engine = "interp";
   std::size_t batch = 0;
   std::uint64_t seed = 42;
@@ -231,8 +237,8 @@ int cmd_sort(const Network& net, int argc, char** argv) {
     return 2;
   }
   const auto plan_for_net = [&] {
-    return compiled_plan(net, passes,
-                         PassOptions{.semantics = Semantics::kComparator});
+    return rt.compiled(net, passes,
+                       PassOptions{.semantics = Semantics::kComparator});
   };
 
   if (batch > 0) {
@@ -254,7 +260,7 @@ int cmd_sort(const Network& net, int argc, char** argv) {
                               static_cast<Count>(17 * net.width())));
     }
     const auto t0 = std::chrono::steady_clock::now();
-    const auto outs = plan_sort_batch(plan, inputs, &ThreadPool::shared());
+    const auto outs = plan_sort_batch(plan, inputs, rt);
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     const bool agree =
@@ -280,7 +286,7 @@ int cmd_sort(const Network& net, int argc, char** argv) {
   return 0;
 }
 
-int cmd_optimize(const Network& net, int argc, char** argv) {
+int cmd_optimize(Runtime& rt, const Network& net, int argc, char** argv) {
   PassLevel passes = default_pass_level();
   PassOptions opts;
   bool stats = false;
@@ -314,11 +320,11 @@ int cmd_optimize(const Network& net, int argc, char** argv) {
                static_cast<unsigned long long>(
                    structural_hash(result.network)));
   if (stats) {
-    // Route the same (network, pipeline) pair through the shared plan cache
-    // so the report reflects this invocation, then print the unified
+    // Route the same (network, pipeline) pair through the runtime's plan
+    // cache so the report reflects this invocation, then print the unified
     // module-cache + plan-cache section.
-    (void)compiled_plan(net, passes, opts);
-    print_cache_stats();
+    (void)rt.compiled(net, passes, opts);
+    print_cache_stats(rt);
   }
   std::fputs(serialize_network(result.network).c_str(), stdout);
   return 0;
@@ -338,8 +344,8 @@ Network read_network_or_die() {
 // The pinned --metrics report: every registry entry, one per line, sorted
 // by name (the registry snapshot is name-sorted). Histograms print their
 // count/mean and bucket-resolution quantiles instead of a raw value.
-void print_metrics() {
-  const obs::MetricsSnapshot snap = metrics_snapshot();
+void print_metrics(Runtime& rt) {
+  const obs::MetricsSnapshot snap = metrics_snapshot(rt);
   std::fprintf(stderr, "metrics:\n");
   for (const obs::MetricSample& s : snap) {
     if (s.kind == obs::MetricKind::kHistogram) {
@@ -359,11 +365,11 @@ void print_metrics() {
   }
 }
 
-int dispatch(int argc, char** argv) {
+int dispatch(Runtime& rt, int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
-  if (cmd == "build") return cmd_build(argc, argv);
+  if (cmd == "build") return cmd_build(rt, argc, argv);
 
   const Network net = read_network_or_die();
   if (cmd == "info") {
@@ -425,8 +431,8 @@ int dispatch(int argc, char** argv) {
     std::printf("%s\n", format_sequence(output_counts(net, in)).c_str());
     return 0;
   }
-  if (cmd == "sort" && argc >= 3) return cmd_sort(net, argc, argv);
-  if (cmd == "optimize") return cmd_optimize(net, argc, argv);
+  if (cmd == "sort" && argc >= 3) return cmd_sort(rt, net, argc, argv);
+  if (cmd == "optimize") return cmd_optimize(rt, net, argc, argv);
   return usage();
 }
 
@@ -437,12 +443,17 @@ int main(int argc, char** argv) {
   // command's own option parsing (which rejects unknown --flags) never
   // sees them.
   bool metrics = false;
+  bool isolated = false;
   std::string trace_path;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--isolated") == 0) {
+      isolated = true;
       continue;
     }
     if (std::strcmp(argv[i], "--trace") == 0) {
@@ -456,9 +467,17 @@ int main(int argc, char** argv) {
     filtered.push_back(argv[i]);
   }
 
+  // --isolated runs the command against a fresh private Runtime: its own
+  // module/plan caches and metric namespace, so --stats/--metrics report
+  // exactly this invocation no matter what else the process did.
+  std::optional<scn::Runtime> private_runtime;
+  if (isolated) private_runtime.emplace();
+  scn::Runtime& rt =
+      private_runtime ? *private_runtime : scn::Runtime::shared();
+
   std::optional<scn::TraceSession> session;
   if (!trace_path.empty()) session.emplace(trace_path);
-  int rc = dispatch(static_cast<int>(filtered.size()), filtered.data());
+  int rc = dispatch(rt, static_cast<int>(filtered.size()), filtered.data());
   if (session) {
     // Finish explicitly (before the metrics report) so a failed write —
     // bad path, full disk — is reported and fails the run.
@@ -471,6 +490,6 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 1;
     }
   }
-  if (metrics) print_metrics();
+  if (metrics) print_metrics(rt);
   return rc;
 }

@@ -7,34 +7,43 @@
 #include "core/module.h"
 #include "engine/batch_engine.h"
 #include "opt/plan_cache.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 namespace {
 
-Network pick_network(std::size_t width, std::size_t cap, NetworkKind kind) {
+Network pick_network(std::size_t width, std::size_t cap, NetworkKind kind,
+                     Runtime& rt) {
   assert(width >= 2);
-  return make_network_for_width(width, std::max<std::size_t>(2, cap), kind);
+  return make_network_for_width(width, std::max<std::size_t>(2, cap), kind,
+                                rt);
 }
 
 }  // namespace
 
 obs::MetricsSnapshot metrics_snapshot() {
-  // Touch both shared caches first: their constructors register the
-  // module_cache.* / plan_cache.* metrics, and a snapshot taken before
-  // any construction work should still list them (at zero).
-  ModuleCache::shared();
-  PlanCache::shared();
-  return obs::MetricsRegistry::shared().snapshot();
+  return metrics_snapshot(Runtime::shared());
 }
 
-CacheStatsReport cache_stats() {
-  // Both shared caches publish through the registry (their hit/miss
+obs::MetricsSnapshot metrics_snapshot(Runtime& rt) {
+  // Touch both caches first: their constructors register the
+  // module_cache.* / plan_cache.* metrics, and a snapshot taken before
+  // any construction work should still list them (at zero).
+  rt.module_cache();
+  rt.plan_cache();
+  return rt.metrics().snapshot();
+}
+
+CacheStatsReport cache_stats() { return cache_stats(Runtime::shared()); }
+
+CacheStatsReport cache_stats(Runtime& rt) {
+  // A runtime's caches publish through its registry (their hit/miss
   // counters ARE registry counters; entries/bytes/capacity are gauges),
   // so the report reads straight from it — one source of truth shared
   // with metrics_snapshot() and the CLI's --metrics flag.
-  ModuleCache::shared();
-  PlanCache::shared();
-  const auto& reg = obs::MetricsRegistry::shared();
+  rt.module_cache();
+  rt.plan_cache();
+  const auto& reg = rt.metrics();
   return CacheStatsReport{
       .module_hits = reg.value("module_cache.hits"),
       .module_misses = reg.value("module_cache.misses"),
@@ -50,19 +59,23 @@ CacheStatsReport cache_stats() {
   };
 }
 
-void clear_caches() {
-  ModuleCache::shared().clear();
-  PlanCache::shared().clear();
-}
+void clear_caches() { clear_caches(Runtime::shared()); }
+
+void clear_caches(Runtime& rt) { rt.clear_caches(); }
 
 Sorter::Sorter(std::size_t width) : Sorter(width, Options{}) {}
 
+Sorter::Sorter(std::size_t width, Runtime& rt) : Sorter(width, Options{}, rt) {}
+
 Sorter::Sorter(std::size_t width, Options options)
+    : Sorter(width, options, Runtime::shared()) {}
+
+Sorter::Sorter(std::size_t width, Options options, Runtime& rt)
     : net_(width >= 2 ? pick_network(width, options.max_comparator,
-                                     NetworkKind::kL)
+                                     NetworkKind::kL, rt)
                       : NetworkBuilder(width).finish_identity()),
-      plan_(compiled_plan(net_, default_pass_level(),
-                          PassOptions{.semantics = Semantics::kComparator})
+      plan_(rt.compiled(net_,
+                        PassOptions{.semantics = Semantics::kComparator})
                 .plan) {}
 
 const ExecutionPlan& Sorter::plan() const { return *plan_; }
@@ -84,8 +97,11 @@ std::vector<Count> Sorter::sorted(std::span<const Count> values) const {
 Counter::Counter() : Counter(Options{}) {}
 
 Counter::Counter(Options options)
+    : Counter(options, Runtime::shared()) {}
+
+Counter::Counter(Options options, Runtime& rt)
     : impl_(std::make_unique<NetworkCounter>(
           pick_network(std::max<std::size_t>(2, options.width),
-                       options.max_balancer, NetworkKind::kL))) {}
+                       options.max_balancer, NetworkKind::kL, rt))) {}
 
 }  // namespace scn

@@ -29,14 +29,20 @@
 namespace scn {
 
 class ExecutionPlan;
+class Runtime;  // runtime/runtime.h — runtime-scoped overloads below
 
-/// Everything the process-wide MetricsRegistry currently holds, sorted by
-/// name: engine run counters, pass pipeline counters/histograms, cache
+/// Everything the default runtime's MetricsRegistry currently holds, sorted
+/// by name: engine run counters, pass pipeline counters/histograms, cache
 /// hit/miss counters and entry gauges, concurrent-sim token counts. See
 /// docs/observability.md for the metric name inventory. Works in every
 /// build: the cache metrics are always live; the hot-path engine/pass
 /// counters only advance when compiled in (obs::compiled_in()).
+/// The Runtime overload snapshots that runtime's registry instead — for a
+/// private Runtime this holds just its own `module_cache.*` /
+/// `plan_cache.*` series (hot-path macros always record into the
+/// process-wide registry; see docs/observability.md).
 [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
+[[nodiscard]] obs::MetricsSnapshot metrics_snapshot(Runtime& rt);
 
 /// RAII trace capture re-exported from obs/trace.h: construct with an
 /// output path to start recording spans, destroy to stop and write the
@@ -44,14 +50,14 @@ class ExecutionPlan;
 /// wraps a command in exactly this object.
 using obs::TraceSession;
 
-/// One snapshot of both process-wide caches: the module cache (interned
+/// One snapshot of a runtime's two caches: the module cache (interned
 /// construction templates stamped by the src/core builders) and the plan
 /// cache (compiled ExecutionPlans keyed on structural hash + pipeline).
 /// Mirrors ModuleCacheStats / PlanCacheStats as plain fields so this header
 /// stays free of the opt/ and core/ cache headers. Since the observability
-/// layer landed, both shared caches publish through the MetricsRegistry and
-/// this report is read back from it — the registry is the single source of
-/// truth (`module_cache.*` / `plan_cache.*` in metrics_snapshot()).
+/// layer landed, every runtime's caches publish through its MetricsRegistry
+/// and this report is read back from it — the registry is the single source
+/// of truth (`module_cache.*` / `plan_cache.*` in metrics_snapshot()).
 struct CacheStatsReport {
   std::uint64_t module_hits = 0;
   std::uint64_t module_misses = 0;
@@ -64,13 +70,19 @@ struct CacheStatsReport {
   std::size_t plan_capacity = 0;
 };
 
-/// Stats for ModuleCache::shared() and PlanCache::shared() in one call.
+/// Stats for both of a runtime's caches in one call; the no-argument form
+/// reads the default runtime (the process-wide caches).
 [[nodiscard]] CacheStatsReport cache_stats();
+[[nodiscard]] CacheStatsReport cache_stats(Runtime& rt);
 
-/// Empties both shared caches and resets their counters. Plans or templates
+/// Empties both of a runtime's caches and resets their counters (counter
+/// resets are ordered before each purge, so a racing snapshot never sees
+/// hits for entries that no longer exist). The no-argument form clears the
+/// default runtime's — i.e. the process-wide — caches. Plans or templates
 /// still referenced by callers stay alive (both caches hand out shared
 /// ownership); only the cached references are dropped.
 void clear_caches();
+void clear_caches(Runtime& rt);
 
 class Sorter {
  public:
@@ -81,8 +93,14 @@ class Sorter {
     std::size_t max_comparator = 8;
   };
 
+  /// The Runtime-taking overloads build and compile against `rt`'s module
+  /// and plan caches; the others use Runtime::shared(). The runtime is
+  /// only used during construction — the Sorter keeps the plan alive
+  /// itself, so it may outlive the runtime.
   explicit Sorter(std::size_t width);
+  Sorter(std::size_t width, Runtime& rt);
   Sorter(std::size_t width, Options options);
+  Sorter(std::size_t width, Options options, Runtime& rt);
 
   [[nodiscard]] std::size_t width() const { return net_.width(); }
   /// The network as constructed (pre-pipeline).
@@ -108,8 +126,11 @@ class Counter {
     std::size_t max_balancer = 4;  ///< widest acceptable balancer
   };
 
+  /// As with Sorter, the Runtime overloads scope construction (module
+  /// cache interning) to `rt`; the counter itself owns its network.
   Counter();
   explicit Counter(Options options);
+  Counter(Options options, Runtime& rt);
 
   /// Concurrent Fetch&Increment (values unique; contiguous at quiescence).
   std::uint64_t next() { return impl_->next(); }

@@ -38,13 +38,14 @@ std::vector<Wire> build_bitonic_converter(NetworkBuilder& builder,
                                           std::size_t p, std::size_t q) {
   assert(p >= 1 && q >= 1);
   assert(x.size() == p * q);
-  if (!ModuleCache::shared().enabled()) {
+  ModuleCache& cache = module_cache_for(builder);
+  if (!cache.enabled()) {
     return bitonic_converter_cold(builder, x, p, q);
   }
-  const auto tmpl = ModuleCache::shared().intern(
+  const auto tmpl = cache.intern(
       ModuleKey{.kind = ModuleKind::kBitonicConverter, .params = {p, q}},
       [&] {
-        NetworkBuilder b(p * q);
+        NetworkBuilder b(p * q, builder.module_cache());
         const std::vector<Wire> all = identity_order(p * q);
         std::vector<Wire> out = bitonic_converter_cold(b, all, p, q);
         return std::move(b).finish(std::move(out));
@@ -52,8 +53,9 @@ std::vector<Wire> build_bitonic_converter(NetworkBuilder& builder,
   return builder.stamp(*tmpl, x);
 }
 
-Network make_bitonic_converter_network(std::size_t p, std::size_t q) {
-  NetworkBuilder builder(p * q);
+Network make_bitonic_converter_network(std::size_t p, std::size_t q,
+                                       Runtime& rt) {
+  NetworkBuilder builder(p * q, &rt.module_cache());
   const std::vector<Wire> all = identity_order(p * q);
   std::vector<Wire> out = build_bitonic_converter(builder, all, p, q);
   return std::move(builder).finish(std::move(out));

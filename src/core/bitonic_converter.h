@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -25,7 +26,8 @@ namespace scn {
                                                         std::size_t q);
 
 /// Standalone D(p, q) with identity logical input (for tests/figures).
-[[nodiscard]] Network make_bitonic_converter_network(std::size_t p,
-                                                     std::size_t q);
+/// Templates intern into `rt`'s module cache.
+[[nodiscard]] Network make_bitonic_converter_network(
+    std::size_t p, std::size_t q, Runtime& rt = Runtime::shared());
 
 }  // namespace scn

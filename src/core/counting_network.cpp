@@ -50,7 +50,7 @@ std::vector<Wire> build_counting(NetworkBuilder& builder,
     return base(builder, wires, factors[0], factors[1]);
   }
 
-  if (!base.cacheable() || !ModuleCache::shared().enabled()) {
+  if (!base.cacheable() || !module_cache_for(builder).enabled()) {
     return counting_cold(builder, wires, factors, base, variant);
   }
   ModuleKey key;
@@ -58,8 +58,8 @@ std::vector<Wire> build_counting(NetworkBuilder& builder,
   key.base = static_cast<std::uint8_t>(base.kind());
   key.variant = static_cast<std::uint8_t>(variant);
   key.params.assign(factors.begin(), factors.end());
-  const auto tmpl = ModuleCache::shared().intern(key, [&] {
-    NetworkBuilder b(wires.size());
+  const auto tmpl = module_cache_for(builder).intern(key, [&] {
+    NetworkBuilder b(wires.size(), builder.module_cache());
     const std::vector<Wire> all = identity_order(wires.size());
     std::vector<Wire> out = counting_cold(b, all, factors, base, variant);
     return std::move(b).finish(std::move(out));
@@ -69,9 +69,9 @@ std::vector<Wire> build_counting(NetworkBuilder& builder,
 
 Network make_counting_network(std::span<const std::size_t> factors,
                               const BaseFactory& base,
-                              StaircaseVariant variant) {
+                              StaircaseVariant variant, Runtime& rt) {
   const std::size_t w = product(factors);
-  NetworkBuilder builder(w);
+  NetworkBuilder builder(w, &rt.module_cache());
   const std::vector<Wire> all = identity_order(w);
   std::vector<Wire> out = build_counting(builder, all, factors, base, variant);
   return std::move(builder).finish(std::move(out));

@@ -15,6 +15,7 @@
 #include "core/base_factory.h"
 #include "core/staircase_merger.h"
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -26,9 +27,10 @@ namespace scn {
                                                const BaseFactory& base,
                                                StaircaseVariant variant);
 
-/// Standalone C(factors) with identity logical input order.
-[[nodiscard]] Network make_counting_network(std::span<const std::size_t> factors,
-                                            const BaseFactory& base,
-                                            StaircaseVariant variant);
+/// Standalone C(factors) with identity logical input order. Templates
+/// intern into `rt`'s module cache.
+[[nodiscard]] Network make_counting_network(
+    std::span<const std::size_t> factors, const BaseFactory& base,
+    StaircaseVariant variant, Runtime& rt = Runtime::shared());
 
 }  // namespace scn

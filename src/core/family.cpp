@@ -27,19 +27,19 @@ std::string FamilyMember::label() const {
 }
 
 FamilyMember make_family_member(std::span<const std::size_t> factors,
-                                NetworkKind kind) {
+                                NetworkKind kind, Runtime& rt) {
   FamilyMember m;
   m.factors.assign(factors.begin(), factors.end());
   m.kind = kind;
   const std::size_t n = factors.size();
   switch (kind) {
     case NetworkKind::kK:
-      m.network = make_k_network(factors);
+      m.network = make_k_network(factors, rt);
       m.formula_depth = k_depth_formula(n);
       m.width_bound = max_pair_product(factors);
       break;
     case NetworkKind::kL:
-      m.network = make_l_network(factors);
+      m.network = make_l_network(factors, rt);
       m.formula_depth = l_depth_bound(n);
       m.width_bound = max_factor(factors);
       break;
@@ -48,19 +48,19 @@ FamilyMember make_family_member(std::span<const std::size_t> factors,
 }
 
 std::vector<FamilyMember> enumerate_family(std::size_t w, NetworkKind kind,
-                                           std::size_t limit) {
+                                           std::size_t limit, Runtime& rt) {
   // Each member's build is a module-cache stamp after its first
   // construction (core/module.h), so enumerating a family re-costs only
   // the factorizations not yet interned this process.
   std::vector<FamilyMember> out;
   for (const auto& factors : all_factorizations(w, 2, limit)) {
-    out.push_back(make_family_member(factors, kind));
+    out.push_back(make_family_member(factors, kind, rt));
   }
   return out;
 }
 
 Network make_network_for_width(std::size_t w, std::size_t max_balancer,
-                               NetworkKind kind) {
+                               NetworkKind kind, Runtime& rt) {
   assert(max_balancer >= 2);
   // Search packing targets and keep the shallowest (fewest factors)
   // feasible factorization; "feasible" means the construction's balancer
@@ -88,8 +88,8 @@ Network make_network_for_width(std::size_t w, std::size_t max_balancer,
     }
     if (target >= w) break;
   }
-  return kind == NetworkKind::kK ? make_k_network(best)
-                                 : make_l_network(best);
+  return kind == NetworkKind::kK ? make_k_network(best, rt)
+                                 : make_l_network(best, rt);
 }
 
 }  // namespace scn

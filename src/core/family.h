@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -33,15 +34,17 @@ struct FamilyMember {
   [[nodiscard]] std::string label() const;
 };
 
-/// Builds the family member for one factorization.
-[[nodiscard]] FamilyMember make_family_member(std::span<const std::size_t> factors,
-                                              NetworkKind kind);
+/// Builds the family member for one factorization (templates intern into
+/// `rt`'s module cache).
+[[nodiscard]] FamilyMember make_family_member(
+    std::span<const std::size_t> factors, NetworkKind kind,
+    Runtime& rt = Runtime::shared());
 
 /// Builds members for every unordered factorization of w (optionally
 /// truncated to `limit` members; 0 = all).
-[[nodiscard]] std::vector<FamilyMember> enumerate_family(std::size_t w,
-                                                         NetworkKind kind,
-                                                         std::size_t limit = 0);
+[[nodiscard]] std::vector<FamilyMember> enumerate_family(
+    std::size_t w, NetworkKind kind, std::size_t limit = 0,
+    Runtime& rt = Runtime::shared());
 
 /// Convenience: a width-w network whose balancers do not exceed
 /// `max_balancer` when any factorization of w permits it (choosing the
@@ -49,6 +52,7 @@ struct FamilyMember {
 /// the balancer bound (e.g. w with a prime factor above the cap).
 [[nodiscard]] Network make_network_for_width(std::size_t w,
                                              std::size_t max_balancer,
-                                             NetworkKind kind);
+                                             NetworkKind kind,
+                                             Runtime& rt = Runtime::shared());
 
 }  // namespace scn

@@ -12,6 +12,7 @@
 #include <span>
 
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -23,8 +24,10 @@ namespace scn {
                                                 std::span<const std::size_t> factors);
 
 /// Standalone K(factors), identity logical input order. Requires all
-/// factors >= 2 and n >= 1.
-[[nodiscard]] Network make_k_network(std::span<const std::size_t> factors);
-[[nodiscard]] Network make_k_network(std::initializer_list<std::size_t> factors);
+/// factors >= 2 and n >= 1. Templates intern into `rt`'s module cache.
+[[nodiscard]] Network make_k_network(std::span<const std::size_t> factors,
+                                     Runtime& rt = Runtime::shared());
+[[nodiscard]] Network make_k_network(std::initializer_list<std::size_t> factors,
+                                     Runtime& rt = Runtime::shared());
 
 }  // namespace scn

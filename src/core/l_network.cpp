@@ -27,17 +27,18 @@ std::vector<Wire> build_l_network(NetworkBuilder& builder,
                         StaircaseVariant::kRebalanceBitonic);
 }
 
-Network make_l_network(std::span<const std::size_t> factors) {
+Network make_l_network(std::span<const std::size_t> factors, Runtime& rt) {
   const std::size_t w = product(factors);
-  NetworkBuilder builder(w);
+  NetworkBuilder builder(w, &rt.module_cache());
   const std::vector<Wire> all = identity_order(w);
   std::vector<Wire> out = build_l_network(builder, all, factors);
   return std::move(builder).finish(std::move(out));
 }
 
-Network make_l_network(std::initializer_list<std::size_t> factors) {
-  return make_l_network(std::span<const std::size_t>(factors.begin(),
-                                                     factors.size()));
+Network make_l_network(std::initializer_list<std::size_t> factors,
+                       Runtime& rt) {
+  return make_l_network(
+      std::span<const std::size_t>(factors.begin(), factors.size()), rt);
 }
 
 }  // namespace scn

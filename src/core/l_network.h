@@ -11,6 +11,7 @@
 
 #include "core/base_factory.h"
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -25,7 +26,10 @@ namespace scn {
 /// Standalone L(factors), identity logical input order. Factors must all be
 /// >= 2; n >= 1 (n == 1 yields R-like degenerate handling via a single
 /// balancer, which already respects the width bound).
-[[nodiscard]] Network make_l_network(std::span<const std::size_t> factors);
-[[nodiscard]] Network make_l_network(std::initializer_list<std::size_t> factors);
+/// Templates intern into `rt`'s module cache.
+[[nodiscard]] Network make_l_network(std::span<const std::size_t> factors,
+                                     Runtime& rt = Runtime::shared());
+[[nodiscard]] Network make_l_network(std::initializer_list<std::size_t> factors,
+                                     Runtime& rt = Runtime::shared());
 
 }  // namespace scn

@@ -68,7 +68,7 @@ std::vector<Wire> build_merger(NetworkBuilder& builder,
     return base(builder, all, factors[0], p_last);
   }
 
-  if (!base.cacheable() || !ModuleCache::shared().enabled()) {
+  if (!base.cacheable() || !module_cache_for(builder).enabled()) {
     return merger_cold(builder, inputs, factors, base, variant);
   }
   // Canonical template: input i on wires [i*in_len, (i+1)*in_len) in order.
@@ -78,8 +78,8 @@ std::vector<Wire> build_merger(NetworkBuilder& builder,
   key.base = static_cast<std::uint8_t>(base.kind());
   key.variant = static_cast<std::uint8_t>(variant);
   key.params.assign(factors.begin(), factors.end());
-  const auto tmpl = ModuleCache::shared().intern(key, [&] {
-    NetworkBuilder b(width);
+  const auto tmpl = module_cache_for(builder).intern(key, [&] {
+    NetworkBuilder b(width, builder.module_cache());
     std::vector<std::vector<Wire>> canonical(p_last);
     for (std::size_t i = 0; i < p_last; ++i) {
       canonical[i].resize(in_len);
@@ -97,11 +97,12 @@ std::vector<Wire> build_merger(NetworkBuilder& builder,
 }
 
 Network make_merger_network(std::span<const std::size_t> factors,
-                            const BaseFactory& base, StaircaseVariant variant) {
+                            const BaseFactory& base, StaircaseVariant variant,
+                            Runtime& rt) {
   const std::size_t w = product(factors);
   const std::size_t p_last = factors.back();
   const std::size_t in_len = w / p_last;
-  NetworkBuilder builder(w);
+  NetworkBuilder builder(w, &rt.module_cache());
   std::vector<std::vector<Wire>> inputs(p_last);
   for (std::size_t i = 0; i < p_last; ++i) {
     inputs[i].resize(in_len);

@@ -19,6 +19,7 @@
 #include "core/base_factory.h"
 #include "core/staircase_merger.h"
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -31,9 +32,11 @@ namespace scn {
     StaircaseVariant variant);
 
 /// Standalone M(factors): logical input sequence i occupies physical wires
-/// [i*len, (i+1)*len) where len = prod(factors)/factors.back().
+/// [i*len, (i+1)*len) where len = prod(factors)/factors.back(). Templates
+/// intern into `rt`'s module cache.
 [[nodiscard]] Network make_merger_network(std::span<const std::size_t> factors,
                                           const BaseFactory& base,
-                                          StaircaseVariant variant);
+                                          StaircaseVariant variant,
+                                          Runtime& rt = Runtime::shared());
 
 }  // namespace scn

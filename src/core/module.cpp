@@ -54,12 +54,12 @@ struct KeyHash {
   }
 };
 
-bool enabled_from_env() {
+}  // namespace
+
+bool ModuleCache::default_enabled() {
   const char* v = std::getenv("SCNET_MODULE_CACHE");
   return v == nullptr || std::string_view(v) != "0";
 }
-
-}  // namespace
 
 struct ModuleCache::Impl {
   mutable std::mutex mu;
@@ -93,9 +93,12 @@ struct ModuleCache::Impl {
 ModuleCache::ModuleCache() : impl_(std::make_unique<Impl>()) {}
 
 ModuleCache::ModuleCache(const char* metric_prefix)
+    : ModuleCache(metric_prefix, obs::MetricsRegistry::shared()) {}
+
+ModuleCache::ModuleCache(const char* metric_prefix,
+                         obs::MetricsRegistry& reg)
     : impl_(std::make_unique<Impl>()) {
   const std::string prefix(metric_prefix);
-  auto& reg = obs::MetricsRegistry::shared();
   impl_->hits = &reg.counter(prefix + ".hits");
   impl_->misses = &reg.counter(prefix + ".misses");
   reg.register_gauge(prefix + ".entries", [entries = impl_->entries_gauge] {
@@ -150,9 +153,14 @@ ModuleCacheStats ModuleCache::stats() const {
 
 void ModuleCache::clear() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->table.clear();
+  // Counters reset before the purge: the hit/miss counters live in the
+  // registry (readable without `mu`), so a snapshot racing this clear()
+  // must never pair post-purge hit totals with pre-purge contents — stale
+  // entries alongside zeroed counters is benign, hits for entries that no
+  // longer exist is a lie.
   impl_->hits->reset();
   impl_->misses->reset();
+  impl_->table.clear();
   impl_->bytes = 0;
   impl_->publish_sizes();
 }
@@ -160,7 +168,7 @@ void ModuleCache::clear() {
 ModuleCache& ModuleCache::shared() {
   static ModuleCache* cache = [] {
     auto* c = new ModuleCache("module_cache");
-    c->set_enabled(enabled_from_env());
+    c->set_enabled(default_enabled());
     return c;
   }();
   return *cache;

@@ -34,6 +34,10 @@
 
 namespace scn {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 enum class ModuleKind : std::uint8_t {
   kTwoMerger,         ///< T(p, q0, q1)            params {p, q0, q1}
   kTwoMergerCapped,   ///< capped T(p, q, q)       params {p, q0, q1}
@@ -69,15 +73,19 @@ struct ModuleCacheStats {
 /// the module cache's `bytes` counter accumulates).
 [[nodiscard]] std::size_t network_storage_bytes(const Network& net);
 
-/// Process-wide interning table of construction templates.
+/// Interning table of construction templates. Each Runtime owns one;
+/// shared() is the process-wide instance behind `Runtime::shared()` that
+/// every constructor uses when no runtime is threaded through.
 class ModuleCache {
  public:
   ModuleCache();
 
   /// As the default constructor, but publishes this instance's statistics
-  /// through the shared MetricsRegistry under `<metric_prefix>.hits` /
-  /// `.misses` (counters) and `.entries` / `.bytes` (gauges). Used by
-  /// shared(); private instances keep purely local counters.
+  /// through `registry` under `<metric_prefix>.hits` / `.misses` (counters)
+  /// and `.entries` / `.bytes` (gauges). The registry must outlive the
+  /// cache. The single-argument overload binds to the process-wide
+  /// registry; plain instances keep purely local counters.
+  ModuleCache(const char* metric_prefix, obs::MetricsRegistry& registry);
   explicit ModuleCache(const char* metric_prefix);
 
   ~ModuleCache();
@@ -98,10 +106,21 @@ class ModuleCache {
   [[nodiscard]] bool enabled() const;
   void set_enabled(bool enabled);
 
+  /// The environment-derived default for the interning toggle:
+  /// SCNET_MODULE_CACHE set to "0" disables, anything else (or unset)
+  /// enables. shared() starts from this; Runtime construction resolves
+  /// Options::module_cache against it.
+  [[nodiscard]] static bool default_enabled();
+
   [[nodiscard]] ModuleCacheStats stats() const;
+
+  /// Empties the table. Counter resets happen before the purge and the
+  /// gauge publication, so a stats()/snapshot reader racing a clear() may
+  /// see stale entries but never hits for entries that no longer exist.
   void clear();
 
-  /// The process-wide cache every src/core/ constructor routes through.
+  /// The process-wide cache (the one behind Runtime::shared()); used by
+  /// src/core/ constructors when no runtime cache is attached.
   static ModuleCache& shared();
 
  private:
@@ -109,21 +128,31 @@ class ModuleCache {
   std::unique_ptr<Impl> impl_;
 };
 
-/// RAII guard flipping the shared cache's enabled flag (tests exercise the
-/// imperative path in-process with this).
+/// The interning table a construction should stamp against: the cache the
+/// builder carries (attached by a Runtime-threaded make_* entry point), or
+/// the process-wide cache when none is attached. Every ModuleCache::shared()
+/// consult in src/core/ routes through this.
+[[nodiscard]] inline ModuleCache& module_cache_for(
+    const NetworkBuilder& builder) {
+  ModuleCache* cache = builder.module_cache();
+  return cache != nullptr ? *cache : ModuleCache::shared();
+}
+
+/// RAII guard flipping a cache's enabled flag (tests exercise the
+/// imperative path in-process with this); defaults to the shared cache.
 class ScopedModuleCacheToggle {
  public:
-  explicit ScopedModuleCacheToggle(bool enabled)
-      : previous_(ModuleCache::shared().enabled()) {
-    ModuleCache::shared().set_enabled(enabled);
+  explicit ScopedModuleCacheToggle(bool enabled,
+                                   ModuleCache& cache = ModuleCache::shared())
+      : cache_(cache), previous_(cache.enabled()) {
+    cache_.set_enabled(enabled);
   }
-  ~ScopedModuleCacheToggle() {
-    ModuleCache::shared().set_enabled(previous_);
-  }
+  ~ScopedModuleCacheToggle() { cache_.set_enabled(previous_); }
   ScopedModuleCacheToggle(const ScopedModuleCacheToggle&) = delete;
   ScopedModuleCacheToggle& operator=(const ScopedModuleCacheToggle&) = delete;
 
  private:
+  ModuleCache& cache_;
   bool previous_;
 };
 

@@ -122,12 +122,13 @@ std::vector<Wire> build_r_network(NetworkBuilder& builder,
                                   std::size_t q) {
   assert(p >= 2 && q >= 2);
   assert(wires.size() == p * q);
-  if (!ModuleCache::shared().enabled()) {
+  ModuleCache& cache = module_cache_for(builder);
+  if (!cache.enabled()) {
     return r_network_cold(builder, wires, p, q);
   }
-  const auto tmpl = ModuleCache::shared().intern(
+  const auto tmpl = cache.intern(
       ModuleKey{.kind = ModuleKind::kRNetwork, .params = {p, q}}, [&] {
-        NetworkBuilder b(p * q);
+        NetworkBuilder b(p * q, builder.module_cache());
         const std::vector<Wire> all = identity_order(p * q);
         std::vector<Wire> out = r_network_cold(b, all, p, q);
         return std::move(b).finish(std::move(out));
@@ -135,8 +136,8 @@ std::vector<Wire> build_r_network(NetworkBuilder& builder,
   return builder.stamp(*tmpl, wires);
 }
 
-Network make_r_network(std::size_t p, std::size_t q) {
-  NetworkBuilder builder(p * q);
+Network make_r_network(std::size_t p, std::size_t q, Runtime& rt) {
+  NetworkBuilder builder(p * q, &rt.module_cache());
   const std::vector<Wire> all = identity_order(p * q);
   std::vector<Wire> out = build_r_network(builder, all, p, q);
   return std::move(builder).finish(std::move(out));

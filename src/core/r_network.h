@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -32,8 +33,10 @@ inline constexpr std::size_t kRDepthBound = 16;
                                                 std::span<const Wire> wires,
                                                 std::size_t p, std::size_t q);
 
-/// Standalone R(p, q) with identity logical input order.
-[[nodiscard]] Network make_r_network(std::size_t p, std::size_t q);
+/// Standalone R(p, q) with identity logical input order. Templates intern
+/// into `rt`'s module cache.
+[[nodiscard]] Network make_r_network(std::size_t p, std::size_t q,
+                                     Runtime& rt = Runtime::shared());
 
 /// floor(sqrt(x)) on integers (exposed for the appendix-inequality tests).
 [[nodiscard]] std::size_t integer_sqrt(std::size_t x);

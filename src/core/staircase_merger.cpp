@@ -164,7 +164,7 @@ std::vector<Wire> build_staircase_merger(NetworkBuilder& builder,
     assert(in.size() == r * p);
     (void)in;
   }
-  if (!base.cacheable() || !ModuleCache::shared().enabled()) {
+  if (!base.cacheable() || !module_cache_for(builder).enabled()) {
     return staircase_merger_cold(builder, inputs, r, p, q, base, variant);
   }
   // Canonical template: input i on wires [i*r*p, (i+1)*r*p) in order.
@@ -174,8 +174,8 @@ std::vector<Wire> build_staircase_merger(NetworkBuilder& builder,
   key.base = static_cast<std::uint8_t>(base.kind());
   key.variant = static_cast<std::uint8_t>(variant);
   key.params = {r, p, q};
-  const auto tmpl = ModuleCache::shared().intern(key, [&] {
-    NetworkBuilder b(width);
+  const auto tmpl = module_cache_for(builder).intern(key, [&] {
+    NetworkBuilder b(width, builder.module_cache());
     std::vector<std::vector<Wire>> canonical(q);
     for (std::size_t i = 0; i < q; ++i) {
       canonical[i].resize(r * p);
@@ -195,9 +195,9 @@ std::vector<Wire> build_staircase_merger(NetworkBuilder& builder,
 
 Network make_staircase_merger_network(std::size_t r, std::size_t p,
                                       std::size_t q, const BaseFactory& base,
-                                      StaircaseVariant variant) {
+                                      StaircaseVariant variant, Runtime& rt) {
   const std::size_t width = r * p * q;
-  NetworkBuilder builder(width);
+  NetworkBuilder builder(width, &rt.module_cache());
   std::vector<std::vector<Wire>> inputs(q);
   for (std::size_t i = 0; i < q; ++i) {
     inputs[i].resize(r * p);

@@ -30,6 +30,7 @@
 
 #include "core/base_factory.h"
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -55,11 +56,10 @@ enum class StaircaseVariant : std::uint8_t {
     StaircaseVariant variant);
 
 /// Standalone S(r, p, q): logical input i occupies physical wires
-/// [i*r*p, (i+1)*r*p) in order (for tests/figures).
-[[nodiscard]] Network make_staircase_merger_network(std::size_t r,
-                                                    std::size_t p,
-                                                    std::size_t q,
-                                                    const BaseFactory& base,
-                                                    StaircaseVariant variant);
+/// [i*r*p, (i+1)*r*p) in order (for tests/figures). Templates intern into
+/// `rt`'s module cache.
+[[nodiscard]] Network make_staircase_merger_network(
+    std::size_t r, std::size_t p, std::size_t q, const BaseFactory& base,
+    StaircaseVariant variant, Runtime& rt = Runtime::shared());
 
 }  // namespace scn

@@ -111,8 +111,8 @@ std::vector<Wire> stamp_two_merger(NetworkBuilder& builder,
   ModuleKey key;
   key.kind = capped ? ModuleKind::kTwoMergerCapped : ModuleKind::kTwoMerger;
   key.params = {p, x0.size() / p, x1.size() / p};
-  const auto tmpl = ModuleCache::shared().intern(key, [&] {
-    NetworkBuilder b(width);
+  const auto tmpl = module_cache_for(builder).intern(key, [&] {
+    NetworkBuilder b(width, builder.module_cache());
     const std::vector<Wire> all = identity_order(width);
     const std::span<const Wire> c0(all.data(), x0.size());
     const std::span<const Wire> c1(all.data() + x0.size(), x1.size());
@@ -136,7 +136,7 @@ std::vector<Wire> build_two_merger(NetworkBuilder& builder,
   if (x1.empty()) return {x0.begin(), x0.end()};
   assert(p >= 1);
   assert(x0.size() % p == 0 && x1.size() % p == 0);
-  if (ModuleCache::shared().enabled()) {
+  if (module_cache_for(builder).enabled()) {
     return stamp_two_merger(builder, x0, x1, p, /*capped=*/false);
   }
   return two_merger_cold(builder, x0, x1, p);
@@ -150,16 +150,16 @@ std::vector<Wire> build_two_merger_capped(NetworkBuilder& builder,
   if (x1.empty()) return {x0.begin(), x0.end()};
   assert(p >= 1);
   assert(x0.size() % p == 0 && x1.size() % p == 0);
-  if (ModuleCache::shared().enabled()) {
+  if (module_cache_for(builder).enabled()) {
     return stamp_two_merger(builder, x0, x1, p, /*capped=*/true);
   }
   return two_merger_capped_cold(builder, x0, x1, p);
 }
 
 Network make_two_merger_network(std::size_t p, std::size_t q0, std::size_t q1,
-                                bool capped) {
+                                bool capped, Runtime& rt) {
   const std::size_t width = p * (q0 + q1);
-  NetworkBuilder builder(width);
+  NetworkBuilder builder(width, &rt.module_cache());
   const std::vector<Wire> all = identity_order(width);
   const std::span<const Wire> x0(all.data(), p * q0);
   const std::span<const Wire> x1(all.data() + p * q0, p * q1);

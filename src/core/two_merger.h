@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 
@@ -37,9 +38,11 @@ namespace scn {
     std::span<const Wire> x1, std::size_t p);
 
 /// Standalone network: T(p, q0, q1) whose logical inputs are x0 then x1 on
-/// physical wires 0..p(q0+q1)-1 (for unit tests and figures).
+/// physical wires 0..p(q0+q1)-1 (for unit tests and figures). Templates
+/// intern into `rt`'s module cache.
 [[nodiscard]] Network make_two_merger_network(std::size_t p, std::size_t q0,
                                               std::size_t q1,
-                                              bool capped = false);
+                                              bool capped = false,
+                                              Runtime& rt = Runtime::shared());
 
 }  // namespace scn

@@ -7,6 +7,7 @@
 #include "engine/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/runtime.h"
 
 namespace scn {
 namespace {
@@ -380,6 +381,18 @@ std::vector<std::vector<Count>> plan_count_batch(
   SCNET_HISTOGRAM_RECORD("engine.batch.lanes", inputs.size());
   SCNET_TRACE_SPAN("engine", "plan_count_batch");
   return run_packed(plan, inputs, pool, count_runner());
+}
+
+std::vector<std::vector<Count>> plan_sort_batch(
+    const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
+    Runtime& rt) {
+  return plan_sort_batch(plan, inputs, &rt.pool());
+}
+
+std::vector<std::vector<Count>> plan_count_batch(
+    const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
+    Runtime& rt) {
+  return plan_count_batch(plan, inputs, &rt.pool());
 }
 
 }  // namespace scn

@@ -26,6 +26,8 @@
 
 namespace scn {
 
+class Runtime;  // runtime/runtime.h — source of the pool for the overloads
+
 // ---------------------------------------------------------------------------
 // Scalar tier.
 
@@ -84,5 +86,16 @@ void run_plan_counts_batch(const ExecutionPlan& plan,
 [[nodiscard]] std::vector<std::vector<Count>> plan_count_batch(
     const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
     ThreadPool* pool = nullptr);
+
+/// Runtime-scoped wrappers: shard over `rt`'s pool (Runtime::shared()'s
+/// pool is the process-wide one, so these match the explicit-pool calls
+/// the pre-runtime call sites made).
+[[nodiscard]] std::vector<std::vector<Count>> plan_sort_batch(
+    const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
+    Runtime& rt);
+
+[[nodiscard]] std::vector<std::vector<Count>> plan_count_batch(
+    const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
+    Runtime& rt);
 
 }  // namespace scn

@@ -8,7 +8,8 @@
 
 namespace scn {
 
-NetworkBuilder::NetworkBuilder(std::size_t width) : wire_layer_(width, 0) {}
+NetworkBuilder::NetworkBuilder(std::size_t width, ModuleCache* module_cache)
+    : wire_layer_(width, 0), module_cache_(module_cache) {}
 
 bool builder_checks_enabled() {
 #ifdef SCNET_CHECKED

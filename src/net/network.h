@@ -28,6 +28,8 @@
 
 namespace scn {
 
+class ModuleCache;  // core/module.h — the builder only carries a handle
+
 using Wire = std::int32_t;
 
 /// One gate (balancer/comparator). Wires are stored flattened in the owning
@@ -45,7 +47,15 @@ class Network;
 /// wire vectors.
 class NetworkBuilder {
  public:
-  explicit NetworkBuilder(std::size_t width);
+  /// `module_cache` attaches the interning context the src/core
+  /// constructors consult while composing through this builder (they fall
+  /// back to the process-wide cache when none is attached — see
+  /// module_cache_for() in core/module.h). The builder itself never
+  /// dereferences it; it only carries the handle down the recursive
+  /// construction, which is what lets a Runtime's cache reach every
+  /// sub-module build without threading an argument through each one.
+  explicit NetworkBuilder(std::size_t width,
+                          ModuleCache* module_cache = nullptr);
 
   /// Appends a gate across `wires` (logical order = listed order).
   /// Width-0 and width-1 gates are silently dropped: they are identity.
@@ -67,6 +77,10 @@ class NetworkBuilder {
 
   [[nodiscard]] std::size_t width() const { return wire_layer_.size(); }
   [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+
+  /// The attached interning context (nullptr => none; constructors use the
+  /// process-wide cache).
+  [[nodiscard]] ModuleCache* module_cache() const { return module_cache_; }
 
   /// Current ASAP depth (max layer over all gates so far).
   [[nodiscard]] std::uint32_t depth() const { return depth_; }
@@ -91,6 +105,7 @@ class NetworkBuilder {
   std::vector<std::uint32_t> seen_mark_;   // contract-check scratch
   std::uint32_t seen_epoch_ = 0;
   std::uint32_t depth_ = 0;
+  ModuleCache* module_cache_ = nullptr;
 };
 
 /// An immutable balancing/comparator network.

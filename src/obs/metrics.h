@@ -1,6 +1,8 @@
 // Observability layer, part 1: the metrics registry.
 //
-// A process-wide, thread-safe registry of named metrics with three kinds:
+// A thread-safe registry of named metrics — one instance per Runtime
+// (its caches publish into it), with shared() as the process-wide
+// instance behind Runtime::shared(). Three kinds:
 //
 //   * Counter   — monotonically increasing 64-bit value (relaxed atomic
 //                 adds; reading is a single load);

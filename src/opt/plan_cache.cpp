@@ -111,9 +111,12 @@ PlanCache::PlanCache(std::size_t capacity)
     : impl_(std::make_unique<Impl>(capacity)) {}
 
 PlanCache::PlanCache(std::size_t capacity, const char* metric_prefix)
+    : PlanCache(capacity, metric_prefix, obs::MetricsRegistry::shared()) {}
+
+PlanCache::PlanCache(std::size_t capacity, const char* metric_prefix,
+                     obs::MetricsRegistry& reg)
     : impl_(std::make_unique<Impl>(capacity)) {
   const std::string prefix(metric_prefix);
-  auto& reg = obs::MetricsRegistry::shared();
   impl_->hits = &reg.counter(prefix + ".hits");
   impl_->misses = &reg.counter(prefix + ".misses");
   impl_->evictions = &reg.counter(prefix + ".evictions");
@@ -187,12 +190,16 @@ PlanCacheStats PlanCache::stats() const {
 
 void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->lru.clear();
-  impl_->index.clear();
-  impl_->publish_entries();
+  // Counters first: they are readable through the registry without `mu`,
+  // so a snapshot racing this clear() may pair zeroed counters with the
+  // old entries gauge (benign) but never hit totals for plans that are
+  // already gone.
   impl_->hits->reset();
   impl_->misses->reset();
   impl_->evictions->reset();
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->publish_entries();
 }
 
 PlanCache& PlanCache::shared() {

@@ -26,6 +26,10 @@
 
 namespace scn {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Order-canonical FNV-1a over (width, layer-major min-wire-sorted gate
 /// stream, output order). Invariant under within-layer gate reordering.
 [[nodiscard]] std::uint64_t structural_hash(const Network& net);
@@ -51,11 +55,15 @@ class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 64);
 
-  /// As above, but publishes this instance's statistics through the shared
-  /// MetricsRegistry under `<metric_prefix>.hits` / `.misses` / `.evictions`
-  /// (counters) and `.entries` / `.capacity` (gauges). Used by shared() so
-  /// the process-wide cache has one source of truth for its numbers;
-  /// private instances (tests) keep purely local counters.
+  /// As above, but publishes this instance's statistics through `registry`
+  /// under `<metric_prefix>.hits` / `.misses` / `.evictions` (counters) and
+  /// `.entries` / `.capacity` (gauges). The registry must outlive the
+  /// cache. The two-argument overload binds to the process-wide registry
+  /// (used by shared()); Runtime instances pass their own registry so each
+  /// runtime's numbers stay in its own namespace. Plain instances (tests)
+  /// keep purely local counters.
+  PlanCache(std::size_t capacity, const char* metric_prefix,
+            obs::MetricsRegistry& registry);
   PlanCache(std::size_t capacity, const char* metric_prefix);
 
   ~PlanCache();
@@ -69,9 +77,14 @@ class PlanCache {
                                     const PassOptions& opts = {});
 
   [[nodiscard]] PlanCacheStats stats() const;
+
+  /// Empties the cache. Counter resets precede the purge and the entries
+  /// gauge publication so a snapshot racing a clear() never reports hits
+  /// for plans that no longer exist.
   void clear();
 
-  /// The process-wide cache used by the routed consumers (Sorter,
+  /// The process-wide cache (the one behind Runtime::shared()) used by the
+  /// routed consumers when no runtime is threaded through (Sorter,
   /// network_sort_ascending, verify_counting_parallel, the CLI).
   static PlanCache& shared();
 

@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 namespace scn {
 
+std::size_t default_thread_count() {
+  if (const char* v = std::getenv("SCNET_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(v, &end, 10);
+    if (end != v && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = default_thread_count();
   }
   workers_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {

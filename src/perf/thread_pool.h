@@ -22,9 +22,17 @@
 
 namespace scn {
 
+/// The default worker count for pools sized with `threads == 0`: the
+/// SCNET_THREADS environment variable when set to a positive integer
+/// (letting CI containers cap oversubscription), otherwise
+/// hardware_concurrency, min 1. Read per call — pools capture the value at
+/// construction.
+[[nodiscard]] std::size_t default_thread_count();
+
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (0 => hardware_concurrency, min 1).
+  /// Spawns `threads` workers (0 => default_thread_count(): SCNET_THREADS,
+  /// else hardware_concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
   /// Drains outstanding tasks, then joins all workers.
@@ -50,9 +58,11 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
-  /// Process-wide pool sized to the hardware, created on first use. Shared
-  /// by the batch engine and the verifiers so the process keeps one set of
-  /// worker threads no matter how many subsystems go parallel.
+  /// Process-wide pool sized by default_thread_count(), created on first
+  /// use; this is the pool behind Runtime::shared(). Shared by the batch
+  /// engine and the verifiers so the default runtime keeps one set of
+  /// worker threads no matter how many subsystems go parallel (private
+  /// Runtimes spawn their own).
   static ThreadPool& shared();
 
  private:

@@ -43,6 +43,7 @@
 #include "opt/plan_cache.h"             // IWYU pragma: export
 #include "perf/contention_model.h"      // IWYU pragma: export
 #include "perf/thread_pool.h"           // IWYU pragma: export
+#include "runtime/runtime.h"            // IWYU pragma: export
 #include "seq/generators.h"             // IWYU pragma: export
 #include "seq/matrix_layout.h"          // IWYU pragma: export
 #include "seq/sequence_props.h"         // IWYU pragma: export

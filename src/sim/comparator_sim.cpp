@@ -11,10 +11,10 @@ std::vector<Count> comparator_output_counts(const Network& net,
 }
 
 std::vector<Count> network_sort_ascending(const Network& net,
-                                          std::span<const Count> values) {
-  const CachedPlan cached = compiled_plan(
-      net, default_pass_level(),
-      PassOptions{.semantics = Semantics::kComparator});
+                                          std::span<const Count> values,
+                                          Runtime& rt) {
+  const CachedPlan cached =
+      rt.compiled(net, PassOptions{.semantics = Semantics::kComparator});
   std::vector<Count> out = plan_comparator_output(*cached.plan, values);
   std::reverse(out.begin(), out.end());
   return out;

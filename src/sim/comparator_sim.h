@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "runtime/runtime.h"
 #include "seq/sequence_props.h"
 
 namespace scn {
@@ -65,14 +66,15 @@ template <typename T, typename Greater = std::greater<T>>
 /// Sorts `values` ascending using the network (reverses the descending
 /// network output). The network width must equal values.size().
 ///
-/// This is the product sort path: it routes through the default pass
-/// pipeline and the shared plan cache (opt/plan_cache.h), so repeated
-/// sorts on one network reuse an optimized compiled plan. Bit-identical
-/// to the per-gate interpreter (comparator_output_counts + reverse) by
-/// the pipeline's soundness guarantees; use the interpreter directly for
-/// custom orderings or gate-stepping.
+/// This is the product sort path: it routes through `rt`'s pass level and
+/// plan cache (opt/plan_cache.h), so repeated sorts on one network reuse
+/// an optimized compiled plan. Bit-identical to the per-gate interpreter
+/// (comparator_output_counts + reverse) by the pipeline's soundness
+/// guarantees; use the interpreter directly for custom orderings or
+/// gate-stepping.
 [[nodiscard]] std::vector<Count> network_sort_ascending(
-    const Network& net, std::span<const Count> values);
+    const Network& net, std::span<const Count> values,
+    Runtime& rt = Runtime::shared());
 
 /// True iff output is non-increasing (the sorting-network success criterion
 /// under our descending convention).

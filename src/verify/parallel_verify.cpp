@@ -13,17 +13,18 @@
 namespace scn {
 
 CountingVerdict verify_counting_parallel(const Network& net,
-                                         ParallelVerifyOptions opts) {
+                                         ParallelVerifyOptions opts,
+                                         Runtime& rt) {
   const std::size_t w = net.width();
   const Count max_total = opts.base.max_total > 0
                               ? opts.base.max_total
                               : static_cast<Count>(3 * w + 7);
-  // Count propagation goes through the pass pipeline and the shared plan
-  // cache under BALANCER semantics (comparator-only passes skip
+  // Count propagation goes through the pass pipeline and the runtime's
+  // plan cache under BALANCER semantics (comparator-only passes skip
   // themselves), so repeated verifications of one network lower it once
   // and every input vector rides the layer-scheduled kernels.
-  const CachedPlan cached = compiled_plan(
-      net, default_pass_level(), PassOptions{.semantics = Semantics::kBalancer});
+  const CachedPlan cached =
+      rt.compiled(net, PassOptions{.semantics = Semantics::kBalancer});
   const ExecutionPlan& plan = *cached.plan;
 
   std::mutex mu;
@@ -70,11 +71,11 @@ CountingVerdict verify_counting_parallel(const Network& net,
   };
 
   const auto totals = static_cast<std::size_t>(max_total) + 1;
-  // opts.threads == 0 reuses the process-wide shared pool; an explicit
-  // thread count gets a dedicated pool of exactly that size (test hooks,
-  // latency experiments).
+  // opts.threads == 0 reuses the runtime's pool; an explicit thread count
+  // gets a dedicated pool of exactly that size (test hooks, latency
+  // experiments).
   if (opts.threads == 0) {
-    ThreadPool::shared().parallel_for(totals, 1, shard);
+    rt.pool().parallel_for(totals, 1, shard);
   } else {
     ThreadPool pool(opts.threads);
     pool.parallel_for(totals, 1, shard);
