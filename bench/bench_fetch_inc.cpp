@@ -1,12 +1,17 @@
 // Fetch&Increment implementations head to head: atomic word, mutex,
-// counting tree, counting networks of several factorizations. Prints the
-// structural inventory, then times ops/sec per implementation and thread
-// count. (On a single-core host this measures per-op overhead and
-// contention cost, not parallel speedup — see EXPERIMENTS.md.)
+// counting tree, counting networks of several factorizations. The preamble
+// measures ops/sec and verifies counter linearity per implementation and
+// thread count, emitting BENCH_fetch_inc.json (exit non-zero on a
+// uniqueness violation); google-benchmark timings follow. (On a
+// single-core host this measures per-op overhead and contention cost, not
+// parallel speedup — see EXPERIMENTS.md.)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <numeric>
 #include <thread>
 
 #include "bench_common.h"
@@ -59,24 +64,68 @@ const char* counter_name(int which) {
   }
 }
 
-void print_table() {
+/// Measured preamble: ops/sec and the counter-linearity check (every value
+/// in {0..N-1} handed out exactly once) per implementation and thread
+/// count, emitted to BENCH_fetch_inc.json. The process exits non-zero if
+/// any implementation violates uniqueness — that is the correctness gate;
+/// the throughput columns are data.
+int emit_report() {
   bench::print_header(
-      "Fetch&Increment implementation inventory",
+      "Fetch&Increment implementations head to head",
       "counting networks spread one hot word over many balancers; the "
       "tree funnels everything through the root");
-  std::printf("%-10s %28s\n", "counter", "structure");
+  std::printf("%-10s %8s %14s %8s\n", "counter", "threads", "ops/sec",
+              "unique");
   bench::print_row_rule();
-  std::printf("%-10s %28s\n", "atomic", "1 word, every op hits it");
-  std::printf("%-10s %28s\n", "mutex", "1 lock");
-  const TreeCounter tree(4);
-  std::printf("%-10s    width 16, depth %u, root carries 100%% of ops\n",
-              "tree16", tree.network().depth());
-  const Network k44 = make_k_network({4, 4});
-  std::printf("%-10s    width 16, depth %u, hottest gate carries 100%%\n",
-              "K(4x4)", k44.depth());
-  const Network k2222 = make_k_network({2, 2, 2, 2});
-  std::printf("%-10s    width 16, depth %u, hottest gate carries 25%%\n\n",
-              "K(2^4)", k2222.depth());
+
+  bench::JsonReport report("BENCH_fetch_inc.json", "fetch_inc");
+  constexpr std::uint64_t kOps = 20000;
+  bool all_unique = true;
+  for (int which = 0; which < 5; ++which) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      const auto counter = make_counter(which);
+      std::vector<std::vector<std::uint64_t>> values(threads);
+      std::atomic<bool> go{false};
+      std::vector<std::thread> pool;
+      for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          values[t].reserve(kOps);
+          while (!go.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          for (std::uint64_t i = 0; i < kOps; ++i) {
+            values[t].push_back(counter->next());
+          }
+        });
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      go.store(true, std::memory_order_release);
+      for (auto& th : pool) th.join();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      const double ops_per_sec =
+          seconds > 0 ? static_cast<double>(kOps * threads) / seconds : 0.0;
+
+      std::vector<std::uint64_t> all;
+      for (const auto& v : values) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      std::vector<std::uint64_t> expected(all.size());
+      std::iota(expected.begin(), expected.end(), 0u);
+      const bool unique = all == expected;
+      all_unique = all_unique && unique;
+
+      std::printf("%-10s %8zu %14.0f %8s\n", counter_name(which), threads,
+                  ops_per_sec, bench::mark(unique));
+      report.begin_row();
+      report.kv("counter", counter_name(which));
+      report.kv("threads", static_cast<std::uint64_t>(threads));
+      report.kv("ops_per_sec", ops_per_sec);
+      report.kv("unique", unique);
+      report.end_row();
+    }
+  }
+  std::printf("\n");
+  return report.finish(all_unique) ? 0 : 1;
 }
 
 void BM_FetchInc(benchmark::State& state) {
@@ -113,8 +162,8 @@ BENCHMARK(BM_FetchInc)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  const int gate = emit_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gate;
 }

@@ -1,7 +1,10 @@
 // E12 — token routing cost: tokens/second through K, L and the bitonic
 // baseline under the sequential simulator and under real threads, across
 // thread counts. The per-token work is the network depth, so shallow-wide
-// members route faster until balancer contention bites.
+// members route faster until balancer contention bites. The preamble
+// measures hops/token and concurrent throughput per network and thread
+// count, verifies each run's outputs keep the step property, and emits
+// BENCH_tokens.json (exit non-zero on a step violation).
 #include <benchmark/benchmark.h>
 
 #include "baseline/bitonic.h"
@@ -10,6 +13,7 @@
 #include "core/l_network.h"
 #include "sim/concurrent_sim.h"
 #include "sim/token_sim.h"
+#include "verify/checkers.h"
 
 namespace {
 
@@ -37,22 +41,46 @@ const char* network_name(int which) {
   }
 }
 
-void print_table() {
+int emit_report() {
   bench::print_header("E12  Token-routing inventory (width 64)",
                       "per-token hop count == path depth; throughput scales "
                       "inversely with depth until contention dominates");
-  std::printf("%-12s %7s %9s\n", "network", "depth", "hops/token");
+  std::printf("%-12s %7s %9s %8s %14s %6s\n", "network", "depth",
+              "hops/token", "threads", "tokens/sec", "step");
   bench::print_row_rule();
+
+  bench::JsonReport report("BENCH_tokens.json", "token_throughput");
+  bool all_step = true;
   for (int which = 0; which < 3; ++which) {
     const Network net = pick_network(which);
     std::vector<Count> in(net.width(), 4);
-    const auto res =
+    const auto sim =
         run_token_simulation(net, in, SchedulePolicy::kOneTokenAtATime);
-    std::printf("%-12s %7u %9.2f\n", network_name(which), net.depth(),
-                static_cast<double>(res.hops) /
-                    static_cast<double>(4 * net.width()));
+    const double hops_per_token = static_cast<double>(sim.hops) /
+                                  static_cast<double>(4 * net.width());
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ConcurrentNetwork cn(net);
+      const auto res = run_concurrent(cn, threads, 20000);
+      // Counting networks guarantee the step property at quiescence; the
+      // bitonic baseline is a counting network too, so every row must hold.
+      const bool step = has_step_property(res.outputs);
+      all_step = all_step && step;
+      std::printf("%-12s %7u %9.2f %8zu %14.0f %6s\n", network_name(which),
+                  net.depth(), hops_per_token, threads,
+                  res.tokens_per_second(), bench::mark(step));
+      report.begin_row();
+      report.kv("network", network_name(which));
+      report.kv("depth", static_cast<std::uint64_t>(net.depth()));
+      report.kv("hops_per_token", hops_per_token);
+      report.kv("threads", static_cast<std::uint64_t>(threads));
+      report.kv("tokens_per_sec", res.tokens_per_second());
+      report.kv("step_property", step);
+      report.end_row();
+    }
   }
   std::printf("\n");
+  return report.finish(all_step) ? 0 : 1;
 }
 
 void BM_SequentialTokens(benchmark::State& state) {
@@ -94,8 +122,8 @@ BENCHMARK(BM_ConcurrentTokens)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  const int gate = emit_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gate;
 }

@@ -18,6 +18,11 @@
 //   scnet_cli optimize [--passes=L] [--semantics=S] < net.scnet
 //                                            run the pass pipeline; stats to
 //                                            stderr, optimized net to stdout
+//   scnet_cli saturate [--shards N] [--threads N] [--tokens N]
+//                      [--schedule KIND] [--factors 2x2x...] [--sync]
+//                      [--seed S]          drive the sharded counting
+//                                            service and verify counter
+//                                            linearity at quiescence
 //   scnet_cli build --stats K 2x3x5    also report construction time and
 //                                            module-cache counters on stderr
 //   scnet_cli optimize --stats < net.scnet   also report module-cache and
@@ -58,8 +63,11 @@
 #include "perf/thread_pool.h"
 #include "runtime/runtime.h"
 #include "seq/generators.h"
+#include "service/saturate.h"
+#include "service/shard_manager.h"
 #include "sim/comparator_sim.h"
 #include "sim/count_sim.h"
+#include "sim/schedule.h"
 #include "verify/checkers.h"
 #include "verify/counting_verify.h"
 #include "verify/sorting_verify.h"
@@ -84,6 +92,9 @@ int usage() {
                "  scnet_cli optimize [--stats] "
                "[--passes={none|default|aggressive}] "
                "[--semantics={comparator|balancer}] < net.scnet\n"
+               "  scnet_cli saturate [--shards N] [--threads N] [--tokens N]"
+               " [--schedule {uniform|bursty|skewed|adversarial}]"
+               " [--factors p0xp1x...] [--sync] [--seed S]\n"
                "global options (any command):\n"
                "  --metrics            dump the metrics registry to stderr\n"
                "  --trace <out.json>   write a chrome://tracing span file\n"
@@ -330,6 +341,79 @@ int cmd_optimize(Runtime& rt, const Network& net, int argc, char** argv) {
   return 0;
 }
 
+// Drives the sharded counting service (src/service/) and verifies the
+// counter afterwards. The pinned report lines are "step property:" and
+// "linearity:" (cli_test locks them); exit is non-zero when either fails.
+// Async mode (the default) pushes increments through the TokenFrontEnd so
+// the service.enqueued/drained/batches metrics are exercised; --sync calls
+// next_on() inline under the chosen schedule instead. Both end with one
+// rebalance() so the elasticity path and its counter run too.
+int cmd_saturate(Runtime& rt, int argc, char** argv) {
+  ShardManager::Options shard_opts;
+  shard_opts.shards = 2;
+  shard_opts.visit_probe = true;  // feed rebalance() measured fractions
+  SaturationOptions sat;
+  sat.threads = 4;
+  sat.tokens_per_thread = 2000;
+  sat.async = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      shard_opts.shards = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      sat.threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--tokens" && i + 1 < argc) {
+      sat.tokens_per_thread = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--factors" && i + 1 < argc) {
+      shard_opts.factors = parse_factors(argv[++i]);
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      const auto kind = parse_schedule(argv[++i]);
+      if (!kind) {
+        std::fprintf(stderr, "unknown schedule '%s'\n", argv[i]);
+        return 2;
+      }
+      sat.schedule.kind = *kind;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      sat.schedule.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--sync") {
+      sat.async = false;
+    } else {
+      std::fprintf(stderr, "unknown saturate option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (shard_opts.shards == 0 || sat.threads == 0) {
+    std::fprintf(stderr, "saturate needs --shards >= 1 and --threads >= 1\n");
+    return 2;
+  }
+
+  ShardManager service(shard_opts, rt);
+  const SaturationResult res = run_saturation(service, sat, rt);
+  std::printf(
+      "saturate: shards %zu (active %zu) width %zu threads %zu tokens "
+      "%llu schedule %s mode %s\n",
+      service.shard_count(), service.active_shards(), service.shard_width(),
+      sat.threads,
+      static_cast<unsigned long long>(res.tokens),
+      to_string(sat.schedule.kind), sat.async ? "async" : "sync");
+
+  bool step_ok = true;
+  for (std::size_t j = 0; j < service.active_shards(); ++j) {
+    step_ok = step_ok && has_step_property(service.shard_output_counts(j));
+  }
+  std::printf("step property: %s\n", step_ok ? "PASS" : "FAIL");
+  std::printf("linearity: %s%s%s\n", res.linearity.ok ? "PASS" : "FAIL",
+              res.linearity.ok ? "" : "  ",
+              res.linearity.ok ? "" : res.linearity.detail.c_str());
+  std::printf("throughput: %.0f tokens/s\n", res.tokens_per_second());
+
+  const ShardManager::RebalanceDecision d = service.rebalance();
+  std::printf("rebalance: active %zu -> %zu (epoch %llu tokens)\n",
+              d.active_before, d.active_after,
+              static_cast<unsigned long long>(d.epoch_tokens));
+  return (step_ok && res.linearity.ok) ? 0 : 1;
+}
+
 Network read_network_or_die() {
   std::stringstream buf;
   buf << std::cin.rdbuf();
@@ -370,6 +454,7 @@ int dispatch(Runtime& rt, int argc, char** argv) {
   const std::string cmd = argv[1];
 
   if (cmd == "build") return cmd_build(rt, argc, argv);
+  if (cmd == "saturate") return cmd_saturate(rt, argc, argv);
 
   const Network net = read_network_or_die();
   if (cmd == "info") {

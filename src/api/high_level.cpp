@@ -8,6 +8,8 @@
 #include "engine/batch_engine.h"
 #include "opt/plan_cache.h"
 #include "runtime/runtime.h"
+#include "service/front_end.h"
+#include "service/shard_manager.h"
 
 namespace scn {
 namespace {
@@ -103,5 +105,30 @@ Counter::Counter(Options options, Runtime& rt)
     : impl_(std::make_unique<NetworkCounter>(
           pick_network(std::max<std::size_t>(2, options.width),
                        options.max_balancer, NetworkKind::kL, rt))) {}
+
+CountingService::CountingService() : CountingService(Options{}) {}
+
+CountingService::CountingService(const Options& options)
+    : CountingService(options, Runtime::shared()) {}
+
+CountingService::CountingService(const Options& options, Runtime& rt)
+    : shards_(std::make_unique<ShardManager>(
+          ShardManager::Options{.shards = options.shards,
+                                .factors = options.factors},
+          rt)),
+      front_(std::make_unique<TokenFrontEnd>(
+          *shards_, rt,
+          TokenFrontEnd::Options{.queue_capacity = options.queue_capacity,
+                                 .max_batch = options.max_batch})) {}
+
+CountingService::~CountingService() = default;
+
+std::uint64_t CountingService::next() { return shards_->next(); }
+
+void CountingService::increment(std::uint32_t n) { front_->enqueue(n); }
+
+void CountingService::drain() { front_->drain(); }
+
+std::uint64_t CountingService::total() const { return shards_->total(); }
 
 }  // namespace scn

@@ -1,0 +1,120 @@
+// The sharded counting service, part 2: the async token-batching front end.
+//
+// Producers that need only the side effect of an increment (occupancy
+// counts, admission tickets checked later, load statistics) should not pay
+// a full network traversal inline. TokenFrontEnd accepts increments into a
+// bounded MPMC queue, coalesces adjacent submissions into batches, and
+// drains the batches through ShardManager::route() on the home Runtime's
+// ThreadPool. The bounded queue is the backpressure: when producers outrun
+// the network, enqueue() blocks until a drainer frees a slot, so memory
+// stays bounded and the queue depth is an honest saturation signal.
+//
+// Drain tasks are plain pool submissions that loop pop-batch -> route and
+// exit when the queue is empty; up to Options::max_drainers run at once,
+// which is where the sharded network's parallelism comes from. drain()
+// additionally routes batches on the calling thread, so it makes progress
+// even when the pool is busy (and with auto_drain off it is the only
+// consumer — the deterministic mode the backpressure tests use).
+//
+// Quiescence: drain() returns only after the queue is empty, every drain
+// task has exited, and the ShardManager reports no in-flight calls — at
+// that point drained() == enqueued() and the manager's output accessors
+// (verify_linearity(), shard_output_counts()) are meaningful.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "service/shard_manager.h"
+
+namespace scn {
+
+namespace obs {
+class Histogram;
+}  // namespace obs
+
+class TokenFrontEnd {
+ public:
+  struct Options {
+    /// Pending submission slots before enqueue() blocks (>= 1).
+    std::size_t queue_capacity = 1024;
+    /// Submission slots coalesced into one route() call (>= 1).
+    std::size_t max_batch = 128;
+    /// Concurrent drain tasks on the runtime's pool (>= 1).
+    std::size_t max_drainers = 2;
+    /// Schedule drain tasks as work arrives. Off => nothing consumes the
+    /// queue until drain() is called (deterministic backpressure testing).
+    bool auto_drain = true;
+  };
+
+  /// `shards` must outlive the front end. `rt` supplies the drain pool and
+  /// the registry for the `service.enqueued/drained/batches` series — pass
+  /// the same runtime the ShardManager publishes to so `--metrics` shows
+  /// one coherent view. The shorter overloads default to Runtime::shared()
+  /// and default Options.
+  explicit TokenFrontEnd(ShardManager& shards);
+  TokenFrontEnd(ShardManager& shards, Runtime& rt);
+  TokenFrontEnd(ShardManager& shards, Runtime& rt, const Options& options);
+  /// Drains outstanding work before destruction.
+  ~TokenFrontEnd();
+
+  TokenFrontEnd(const TokenFrontEnd&) = delete;
+  TokenFrontEnd& operator=(const TokenFrontEnd&) = delete;
+
+  /// Queues `count` increments. Blocks while the queue is full
+  /// (backpressure). Must not be called from a pool worker — a blocked
+  /// worker could be the drainer the queue is waiting for.
+  void enqueue(std::uint32_t count = 1);
+
+  /// Non-blocking enqueue; false when the queue is full.
+  [[nodiscard]] bool try_enqueue(std::uint32_t count = 1);
+
+  /// Routes everything queued (helping on the calling thread), waits for
+  /// active drain tasks, then quiesces the ShardManager. On return
+  /// drained() == enqueued() provided producers have stopped.
+  void drain();
+
+  /// Increments accepted so far.
+  [[nodiscard]] std::uint64_t enqueued() const {
+    return enqueued_.load(std::memory_order_acquire);
+  }
+  /// Increments routed through the shards so far.
+  [[nodiscard]] std::uint64_t drained() const {
+    return drained_.load(std::memory_order_acquire);
+  }
+  /// Submission slots currently waiting in the queue.
+  [[nodiscard]] std::size_t pending_slots() const;
+
+ private:
+  /// Pops up to max_batch slots; returns the summed increment count
+  /// (0 => queue empty).
+  std::uint64_t pop_batch_locked(std::unique_lock<std::mutex>& lk);
+  void schedule_drainer_locked();
+  void drain_task();
+
+  ShardManager& shards_;
+  Runtime& rt_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable drained_cv_;
+  std::vector<std::uint32_t> ring_;  // bounded slot buffer
+  std::size_t head_ = 0;             // oldest occupied slot
+  std::size_t size_ = 0;             // occupied slots
+  std::size_t active_drainers_ = 0;
+
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> drained_{0};
+
+  obs::Counter* enq_counter_;        // service.enqueued
+  obs::Counter* drain_counter_;      // service.drained
+  obs::Counter* batch_counter_;      // service.batches
+  obs::Histogram* batch_hist_;       // service.batch.tokens
+};
+
+}  // namespace scn

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <chrono>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -15,7 +17,42 @@ ConcurrentNetwork::ConcurrentNetwork(const Network& net)
       gate_state_(std::make_unique<PaddedCounter[]>(net.gate_count())),
       exit_counts_(std::make_unique<PaddedCounter[]>(net.width())) {}
 
+// The quiescence guard: reset() and output_counts() are only valid with no
+// token inside traverse(), but nothing used to check it. Checked builds
+// track an in-flight count (one more contended word per token — acceptable
+// exactly where the wire contracts are already validated); release builds
+// compile the tracking out so the hot path is untouched.
+void ConcurrentNetwork::begin_token() {
+#ifdef SCNET_CHECKED
+  in_flight_.value.fetch_add(1, std::memory_order_acq_rel);
+#endif
+}
+
+void ConcurrentNetwork::end_token() {
+#ifdef SCNET_CHECKED
+  in_flight_.value.fetch_sub(1, std::memory_order_acq_rel);
+#endif
+}
+
+std::uint64_t ConcurrentNetwork::in_flight() const {
+  return in_flight_.value.load(std::memory_order_acquire);
+}
+
+void ConcurrentNetwork::check_quiescent(const char* what) const {
+#ifdef SCNET_CHECKED
+  const std::uint64_t pending = in_flight();
+  if (pending != 0) {
+    throw std::logic_error(std::string(what) +
+                           " requires quiescence: " +
+                           std::to_string(pending) + " token(s) in flight");
+  }
+#else
+  (void)what;
+#endif
+}
+
 ConcurrentNetwork::ExitEvent ConcurrentNetwork::traverse(Wire in) {
+  begin_token();
   const Network& net = linked_.network();
   std::int32_t gate = linked_.entry_gate(in);
   Wire wire = in;
@@ -37,6 +74,7 @@ ConcurrentNetwork::ExitEvent ConcurrentNetwork::traverse(Wire in) {
   const std::size_t pos = net.output_position(wire);
   const std::uint64_t ticket =
       exit_counts_[pos].value.fetch_add(1, std::memory_order_acq_rel);
+  end_token();
   return {pos, ticket};
 }
 
@@ -46,12 +84,14 @@ Count ConcurrentNetwork::exits(std::size_t logical_position) const {
 }
 
 std::vector<Count> ConcurrentNetwork::output_counts() const {
+  check_quiescent("output_counts()");
   std::vector<Count> out(network().width());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = exits(i);
   return out;
 }
 
 void ConcurrentNetwork::reset() {
+  check_quiescent("reset()");
   for (std::size_t g = 0; g < network().gate_count(); ++g) {
     gate_state_[g].value.store(0, std::memory_order_relaxed);
     if (visit_counts_ != nullptr) {
@@ -117,4 +157,38 @@ ConcurrentRunResult run_concurrent(ConcurrentNetwork& net, std::size_t threads,
   return result;
 }
 
+ConcurrentRunResult run_concurrent(ConcurrentNetwork& net, std::size_t threads,
+                                   std::uint64_t tokens_per_thread,
+                                   const ScheduleParams& schedule) {
+  assert(threads >= 1);
+  SCNET_COUNTER_ADD("sim.concurrent.tokens", tokens_per_thread * threads);
+  SCNET_TRACE_SPAN("sim", "run_concurrent");
+  const auto width = static_cast<std::uint32_t>(net.network().width());
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      WireSchedule wires(width, schedule, t);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t i = 0; i < tokens_per_thread; ++i) {
+        net.traverse(wires.next());
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ConcurrentRunResult result;
+  result.outputs = net.output_counts();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.tokens = tokens_per_thread * threads;
+  return result;
+}
+
 }  // namespace scn
+

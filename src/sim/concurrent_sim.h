@@ -19,6 +19,7 @@
 
 #include "net/linked_network.h"
 #include "seq/sequence_props.h"
+#include "sim/schedule.h"
 
 namespace scn {
 
@@ -44,14 +45,31 @@ class ConcurrentNetwork {
   /// Only meaningful in quiescent states (no thread inside traverse()).
   [[nodiscard]] Count exits(std::size_t logical_position) const;
 
-  /// Quiescent per-logical-output counts.
+  /// Quiescent per-logical-output counts. Built with SCNET_CHECKED, throws
+  /// std::logic_error when tokens are still in flight (see in_flight()).
   [[nodiscard]] std::vector<Count> output_counts() const;
 
   [[nodiscard]] const Network& network() const { return linked_.network(); }
 
-  /// Resets all balancer and exit state (requires quiescence). Probe
-  /// counts (if enabled) are reset too.
+  /// Resets all balancer and exit state (requires quiescence — enforced
+  /// with a std::logic_error under SCNET_CHECKED, like output_counts()).
+  /// Probe counts (if enabled) are reset too.
   void reset();
+
+  /// Tokens currently inside traverse() (or externally marked via
+  /// begin_token()). Always 0 when the library was built without
+  /// SCNET_CHECKED — the tracking word would be one more contended
+  /// cache line on the hot path, so it exists only in checked builds
+  /// (builder_checks_enabled() reports which one you have).
+  [[nodiscard]] std::uint64_t in_flight() const;
+
+  /// Marks an externally managed token as in flight / done, extending the
+  /// quiescence guard across routers whose token lifetime spans more than
+  /// one call (and letting the negative contract tests pin the guard
+  /// deterministically). traverse() brackets itself with the same pair.
+  /// No-ops without SCNET_CHECKED.
+  void begin_token();
+  void end_token();
 
   /// Allocates per-gate visit counters and starts counting every balancer
   /// a token crosses (one extra relaxed fetch-add per hop, on a padded
@@ -74,10 +92,13 @@ class ConcurrentNetwork {
     std::atomic<std::uint64_t> value{0};
   };
 
+  void check_quiescent(const char* what) const;
+
   LinkedNetwork linked_;
   std::unique_ptr<PaddedCounter[]> gate_state_;
   std::unique_ptr<PaddedCounter[]> exit_counts_;  // by logical position
   std::unique_ptr<PaddedCounter[]> visit_counts_;  // null until enabled
+  PaddedCounter in_flight_;  // only advanced under SCNET_CHECKED
 };
 
 struct ConcurrentRunResult {
@@ -97,5 +118,14 @@ struct ConcurrentRunResult {
                                                  std::size_t threads,
                                                  std::uint64_t tokens_per_thread,
                                                  std::uint64_t seed = 1);
+
+/// Schedule-driven variant: each thread's entry wires come from a
+/// WireSchedule (sim/schedule.h) built over (width, params, thread), so
+/// bursty / skewed / adversarial arrival patterns are reproducible. The
+/// uniform kind with the same seed is statistically equivalent to the
+/// overload above (same generator family, independent streams).
+[[nodiscard]] ConcurrentRunResult run_concurrent(
+    ConcurrentNetwork& net, std::size_t threads,
+    std::uint64_t tokens_per_thread, const ScheduleParams& schedule);
 
 }  // namespace scn

@@ -1,0 +1,114 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scn {
+namespace {
+
+/// SplitMix64-style seed mixing so per-thread streams are decorrelated
+/// (matches the run_concurrent convention of a golden-ratio stride).
+std::uint64_t thread_seed(std::uint64_t seed, std::size_t thread) {
+  return seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(thread) + 1);
+}
+
+}  // namespace
+
+const char* to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kUniform:
+      return "uniform";
+    case ScheduleKind::kBursty:
+      return "bursty";
+    case ScheduleKind::kSkewed:
+      return "skewed";
+    case ScheduleKind::kAdversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+std::optional<ScheduleKind> parse_schedule(std::string_view s) {
+  if (s == "uniform") return ScheduleKind::kUniform;
+  if (s == "bursty") return ScheduleKind::kBursty;
+  if (s == "skewed") return ScheduleKind::kSkewed;
+  if (s == "adversarial") return ScheduleKind::kAdversarial;
+  return std::nullopt;
+}
+
+WireSchedule::WireSchedule(std::uint32_t width, const ScheduleParams& params,
+                           std::size_t thread)
+    : width_(width),
+      params_(params),
+      rng_(thread_seed(params.seed, thread)) {
+  switch (params_.kind) {
+    case ScheduleKind::kUniform:
+    case ScheduleKind::kBursty:
+      break;
+    case ScheduleKind::kSkewed: {
+      // Zipf weights 1/rank^s over the rank order; the rank -> wire map is
+      // permuted by the SHARED seed (not the thread seed) so all threads
+      // agree on which wires are hot — that is what makes the load skewed
+      // in aggregate rather than per thread.
+      cumulative_.resize(width_);
+      double total = 0.0;
+      for (std::uint32_t r = 0; r < width_; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), params_.skew);
+        cumulative_[r] = total;
+      }
+      rank_to_wire_.resize(width_);
+      std::iota(rank_to_wire_.begin(), rank_to_wire_.end(), 0u);
+      std::mt19937_64 perm_rng(params_.seed);
+      std::shuffle(rank_to_wire_.begin(), rank_to_wire_.end(), perm_rng);
+      break;
+    }
+    case ScheduleKind::kAdversarial:
+      // One shared hot wire for every thread: all entry traffic funnels
+      // into a single gate path.
+      current_ = static_cast<std::uint32_t>(params_.seed % width_);
+      break;
+  }
+}
+
+Wire WireSchedule::next() {
+  switch (params_.kind) {
+    case ScheduleKind::kUniform: {
+      std::uniform_int_distribution<std::uint32_t> wire(0, width_ - 1);
+      return static_cast<Wire>(wire(rng_));
+    }
+    case ScheduleKind::kBursty: {
+      if (remaining_ == 0) {
+        std::uniform_int_distribution<std::uint32_t> wire(0, width_ - 1);
+        current_ = wire(rng_);
+        remaining_ = params_.burst_len == 0 ? 1 : params_.burst_len;
+      }
+      --remaining_;
+      return static_cast<Wire>(current_);
+    }
+    case ScheduleKind::kSkewed: {
+      std::uniform_real_distribution<double> u(0.0, cumulative_.back());
+      const auto it = std::lower_bound(cumulative_.begin(),
+                                       cumulative_.end(), u(rng_));
+      const auto rank = static_cast<std::size_t>(
+          std::distance(cumulative_.begin(), it));
+      return static_cast<Wire>(rank_to_wire_[std::min(
+          rank, static_cast<std::size_t>(width_ - 1))]);
+    }
+    case ScheduleKind::kAdversarial:
+      return static_cast<Wire>(current_);
+  }
+  return 0;
+}
+
+std::vector<Wire> schedule_prefix(std::uint32_t width,
+                                  const ScheduleParams& params,
+                                  std::size_t thread, std::size_t n) {
+  WireSchedule sched(width, params, thread);
+  std::vector<Wire> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sched.next());
+  return out;
+}
+
+}  // namespace scn

@@ -1,0 +1,89 @@
+// Pluggable arrival schedules for the concurrent simulator and the
+// sharded counting service's saturation harness.
+//
+// run_concurrent() historically drew entry wires uniformly at random per
+// thread. Real services see far less friendly traffic, and the
+// counting-network guarantees (step property at quiescence, per-value
+// uniqueness) are *schedule-independent* — which is exactly what makes
+// them worth paying depth for. A WireSchedule generates the entry-wire
+// sequence one thread feeds the network:
+//
+//   kUniform      independent uniform draws (the classic benchmark load)
+//   kBursty       a uniformly chosen wire is hammered for `burst_len`
+//                 consecutive tokens before the next wire is drawn —
+//                 models hot keys arriving in clumps
+//   kSkewed       Zipf-like draw over wires (exponent `skew`), with the
+//                 wire popularity ranking permuted per seed so the hot
+//                 wires are not always wire 0 — models a skewed tenant mix
+//   kAdversarial  every thread sends every token into the same single
+//                 wire (seed-chosen), concentrating all entry traffic on
+//                 one gate path — the worst schedule an adversary
+//                 controlling arrival wires can pick
+//
+// Determinism contract: the sequence produced by a WireSchedule is a pure
+// function of (width, params, thread). Two generators built with the same
+// triple yield identical sequences, so any run driven by schedules is
+// reproducible thread-for-thread regardless of interleaving.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "net/network.h"
+
+namespace scn {
+
+enum class ScheduleKind : std::uint8_t {
+  kUniform,
+  kBursty,
+  kSkewed,
+  kAdversarial,
+};
+
+[[nodiscard]] const char* to_string(ScheduleKind kind);
+/// Parses "uniform" / "bursty" / "skewed" / "adversarial".
+[[nodiscard]] std::optional<ScheduleKind> parse_schedule(std::string_view s);
+
+struct ScheduleParams {
+  ScheduleKind kind = ScheduleKind::kUniform;
+  std::uint64_t seed = 1;
+  /// kBursty: consecutive tokens sent to one wire before redrawing.
+  std::uint32_t burst_len = 64;
+  /// kSkewed: Zipf exponent (larger => more skew; 0 degrades to uniform).
+  double skew = 1.2;
+};
+
+/// Per-thread entry-wire generator; see the determinism contract above.
+class WireSchedule {
+ public:
+  WireSchedule(std::uint32_t width, const ScheduleParams& params,
+               std::size_t thread);
+
+  /// The next entry wire for this thread, in [0, width).
+  [[nodiscard]] Wire next();
+
+ private:
+  std::uint32_t width_;
+  ScheduleParams params_;
+  std::mt19937_64 rng_;
+  // kBursty state: the wire currently being hammered and tokens left in
+  // the burst. kAdversarial reuses current_ as the fixed target.
+  std::uint32_t current_ = 0;
+  std::uint32_t remaining_ = 0;
+  // kSkewed: cumulative Zipf weights over the rank order and the
+  // seed-permuted rank -> wire map.
+  std::vector<double> cumulative_;
+  std::vector<std::uint32_t> rank_to_wire_;
+};
+
+/// The first `n` wires thread `thread` would feed the network — the
+/// inspectable form of the determinism contract, used by tests and docs.
+[[nodiscard]] std::vector<Wire> schedule_prefix(std::uint32_t width,
+                                                const ScheduleParams& params,
+                                                std::size_t thread,
+                                                std::size_t n);
+
+}  // namespace scn

@@ -236,6 +236,72 @@ TEST(Cli, MetricsSeesEngineAndPassCountersWhenCompiledIn) {
 #endif
 }
 
+TEST(Cli, SaturateVerifiesAndReportsService) {
+  const auto r = run_command(
+      kCli + " saturate --shards 2 --threads 4 --tokens 500");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("saturate: shards 2 (active 2) width 16 threads 4 "
+                          "tokens 2000 schedule uniform mode async"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("step property: PASS"), std::string::npos);
+  EXPECT_NE(r.output.find("linearity: PASS"), std::string::npos);
+  // 1000 tokens/shard at a ~25% hottest-gate fraction scores ~250, under
+  // the default shrink threshold of 500: the service shrinks to one shard.
+  EXPECT_NE(r.output.find("rebalance: active 2 -> 1 (epoch 2000 tokens)"),
+            std::string::npos);
+}
+
+TEST(Cli, SaturateSyncModeAcceptsEverySchedule) {
+  for (const char* schedule :
+       {"uniform", "bursty", "skewed", "adversarial"}) {
+    const auto r = run_command(kCli +
+                               " saturate --sync --shards 2 --threads 2 "
+                               "--tokens 500 --schedule " +
+                               schedule);
+    EXPECT_EQ(r.exit_code, 0) << schedule << ": " << r.output;
+    EXPECT_NE(r.output.find(std::string("schedule ") + schedule + " mode "
+                            "sync"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("linearity: PASS"), std::string::npos);
+  }
+}
+
+TEST(Cli, SaturateRejectsUnknownSchedule) {
+  const auto r = run_command(kCli + " saturate --schedule zipf");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown schedule"), std::string::npos);
+}
+
+TEST(Cli, MetricsIncludesPerShardServiceCounters) {
+  // The pinned service.* registry section: front-end totals, batch
+  // histogram, per-shard token counts, and the rebalance counter, all in
+  // the home runtime's --metrics dump. 4 threads x 500 tokens over 2
+  // shards => 1000 each under round-robin dispatch.
+  const auto r = run_command(
+      kCli + " saturate --metrics --shards 2 --threads 4 --tokens 500");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("  service.enqueued = 2000"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("  service.drained = 2000"), std::string::npos);
+  EXPECT_NE(r.output.find("  service.tokens = 2000"), std::string::npos);
+  EXPECT_NE(r.output.find("  service.shard0.tokens = 1000"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("  service.shard1.tokens = 1000"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("  service.rebalances = "), std::string::npos);
+  EXPECT_NE(r.output.find("  service.batch.tokens = count "),
+            std::string::npos);
+  // Sync mode never constructs the front end, so its series are absent.
+  const auto sync = run_command(
+      kCli + " saturate --metrics --sync --shards 2 --threads 4 "
+             "--tokens 500");
+  EXPECT_EQ(sync.exit_code, 0) << sync.output;
+  EXPECT_NE(sync.output.find("  service.tokens = 2000"), std::string::npos);
+  EXPECT_EQ(sync.output.find("  service.enqueued = 2000"),
+            std::string::npos);
+}
+
 TEST(Cli, TraceWritesChromeTraceFile) {
   const std::string path =
       testing::TempDir() + "scnet_cli_test_trace.json";

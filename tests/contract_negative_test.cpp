@@ -10,9 +10,11 @@
 
 #include "core/bitonic_converter.h"
 #include "core/counting_network.h"
+#include "core/k_network.h"
 #include "core/staircase_merger.h"
 #include "core/two_merger.h"
 #include "seq/generators.h"
+#include "sim/concurrent_sim.h"
 #include "sim/count_sim.h"
 #include "verify/checkers.h"
 
@@ -124,6 +126,31 @@ TEST(NegativeContract, AddBalancerRejectsDuplicateAndOutOfRangeWires) {
   EXPECT_EQ(net.gate_count(), 1u);
   EXPECT_EQ(net.depth(), 1u);
   EXPECT_TRUE(net.validate().empty()) << net.validate();
+}
+
+TEST(NegativeContract, ConcurrentNetworkQuiescenceGuard) {
+  // output_counts() and reset() are only meaningful with no token in
+  // flight. traverse() can't be paused mid-network from a test, so the
+  // guard exposes begin_token()/end_token() to mark an external token in
+  // flight deterministically — exactly what the service's batching front
+  // end does across a batch.
+  if (!builder_checks_enabled()) {
+    GTEST_SKIP() << "library built without SCNET_CHECKED";
+  }
+  const Network net = make_k_network({2, 2});
+  ConcurrentNetwork cn(net);
+  EXPECT_EQ(cn.in_flight(), 0u);
+  cn.begin_token();
+  EXPECT_EQ(cn.in_flight(), 1u);
+  EXPECT_THROW((void)cn.output_counts(), std::logic_error);
+  EXPECT_THROW(cn.reset(), std::logic_error);
+  cn.end_token();
+  EXPECT_EQ(cn.in_flight(), 0u);
+  // Quiescent again: both calls work and the guard left no residue.
+  (void)cn.traverse(0);
+  EXPECT_EQ(cn.output_counts()[0], 1);
+  cn.reset();
+  EXPECT_EQ(cn.output_counts()[0], 0);
 }
 
 TEST(NegativeContract, CountingNetworksHaveNoSuchWitness) {
