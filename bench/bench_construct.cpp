@@ -69,6 +69,14 @@ struct Measurement {
   bool identical = false;  // stamped output == imperative output
 };
 
+// Brace-initializing a subset of Runtime::Options fields trips
+// -Wmissing-field-initializers under -Wextra; build the struct explicitly.
+Runtime::Options module_cache_options(bool enabled) {
+  Runtime::Options options;
+  options.module_cache = enabled;
+  return options;
+}
+
 Measurement measure(const std::vector<std::size_t>& factors) {
   Measurement m;
   m.label = "L(" + format_factors(factors) + ")";
@@ -76,7 +84,7 @@ Measurement measure(const std::vector<std::size_t>& factors) {
   // Fresh Runtimes per phase: the imperative phase never interns, the cold
   // phase starts from an empty cache on every rep, and the warm phase is
   // warmed by exactly one build — regardless of what ran before.
-  Runtime imperative_rt(Runtime::Options{.module_cache = false});
+  Runtime imperative_rt(module_cache_options(false));
   const Network imperative_net = make_l_network(factors, imperative_rt);
   m.imperative_s = best_time([&] {
     benchmark::DoNotOptimize(make_l_network(factors, imperative_rt));
@@ -85,13 +93,13 @@ Measurement measure(const std::vector<std::size_t>& factors) {
   m.gates = imperative_net.gate_count();
   m.depth = imperative_net.depth();
 
-  Runtime cold_rt(Runtime::Options{.module_cache = true});
+  Runtime cold_rt(module_cache_options(true));
   m.cold_s = best_time([&] {
     cold_rt.module_cache().clear();
     benchmark::DoNotOptimize(make_l_network(factors, cold_rt));
   });
 
-  Runtime warm_rt(Runtime::Options{.module_cache = true});
+  Runtime warm_rt(module_cache_options(true));
   const Network warm_net =
       make_l_network(factors, warm_rt);  // leave templates hot
   const ModuleCacheStats stats = warm_rt.module_cache().stats();
@@ -160,7 +168,7 @@ void emit_report(const std::vector<Measurement>& ms) {
 // --- google-benchmark timing loops -----------------------------------
 
 void BM_ConstructL720Warm(benchmark::State& state) {
-  Runtime rt(Runtime::Options{.module_cache = true});
+  Runtime rt(module_cache_options(true));
   (void)make_l_network({8, 9, 10}, rt);
   for (auto _ : state) {
     benchmark::DoNotOptimize(make_l_network({8, 9, 10}, rt));
@@ -169,7 +177,7 @@ void BM_ConstructL720Warm(benchmark::State& state) {
 BENCHMARK(BM_ConstructL720Warm)->Unit(benchmark::kMillisecond);
 
 void BM_ConstructL720Imperative(benchmark::State& state) {
-  Runtime rt(Runtime::Options{.module_cache = false});
+  Runtime rt(module_cache_options(false));
   for (auto _ : state) {
     benchmark::DoNotOptimize(make_l_network({8, 9, 10}, rt));
   }
@@ -177,7 +185,7 @@ void BM_ConstructL720Imperative(benchmark::State& state) {
 BENCHMARK(BM_ConstructL720Imperative)->Unit(benchmark::kMillisecond);
 
 void BM_ConstructK64Warm(benchmark::State& state) {
-  Runtime rt(Runtime::Options{.module_cache = true});
+  Runtime rt(module_cache_options(true));
   (void)make_k_network({4, 4, 4}, rt);
   for (auto _ : state) {
     benchmark::DoNotOptimize(make_k_network({4, 4, 4}, rt));

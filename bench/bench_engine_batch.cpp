@@ -102,37 +102,28 @@ void emit_report(const std::vector<Measurement>& ms) {
               "interp v/s", "scalar v/s", "batch v/s", "threaded v/s",
               "batch/x");
   bench::print_row_rule();
-  FILE* json = std::fopen("BENCH_engine.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"experiment\": \"engine_batch\",\n");
-    std::fprintf(json, "  \"batch_size\": %zu,\n  \"results\": [\n", kBatch);
-  }
+  bench::JsonReport report("BENCH_engine.json", "engine_batch");
   bool all_pass = true;
-  for (std::size_t i = 0; i < ms.size(); ++i) {
-    const Measurement& m = ms[i];
+  for (const Measurement& m : ms) {
     const double speedup = m.batch_vps / m.interp_vps;
     const bool pass = speedup >= 3.0;
     all_pass = all_pass && pass;
     std::printf("%-14s %5zu %5u %12.0f %12.0f %12.0f %12.0f %7.2fx %s\n",
                 m.network, m.width, m.depth, m.interp_vps, m.scalar_vps,
                 m.batch_vps, m.threaded_vps, speedup, bench::mark(pass));
-    if (json != nullptr) {
-      std::fprintf(json,
-                   "    {\"network\": \"%s\", \"width\": %zu, \"depth\": %u, "
-                   "\"interpreter_vps\": %.1f, \"plan_scalar_vps\": %.1f, "
-                   "\"plan_batch_vps\": %.1f, \"plan_threaded_vps\": %.1f, "
-                   "\"batch_speedup\": %.3f}%s\n",
-                   m.network, m.width, m.depth, m.interp_vps, m.scalar_vps,
-                   m.batch_vps, m.threaded_vps, speedup,
-                   i + 1 < ms.size() ? "," : "");
-    }
+    report.begin_row();
+    report.kv("network", m.network);
+    report.kv("width", static_cast<std::uint64_t>(m.width));
+    report.kv("depth", static_cast<std::uint64_t>(m.depth));
+    report.kv("batch_size", static_cast<std::uint64_t>(kBatch));
+    report.kv("interpreter_vps", m.interp_vps);
+    report.kv("plan_scalar_vps", m.scalar_vps);
+    report.kv("plan_batch_vps", m.batch_vps);
+    report.kv("plan_threaded_vps", m.threaded_vps);
+    report.kv("batch_speedup", speedup);
+    report.end_row();
   }
-  if (json != nullptr) {
-    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
-                 all_pass ? "true" : "false");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_engine.json\n");
-  }
+  report.finish(all_pass);
   std::printf("\n");
 }
 

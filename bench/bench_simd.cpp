@@ -1,0 +1,200 @@
+// E-SIMD — explicit AVX2 kernels vs the auto-vectorized batch tier.
+//
+// Sweeps batch size x network x backend and reports sorted vectors/sec for
+// every registered engine backend (engine/backend.h). The networks split
+// into two regimes:
+//
+//   * width-2 dominated (bitonic, Batcher odd-even): every gate is a pair
+//     compare-exchange, exactly what the simd backend's hand-written
+//     AVX2 min/max kernels cover — this is where explicit vectorization
+//     must beat the compiler's auto-vectorized batch tier;
+//   * wide-gate heavy (K(4x4x4): 4-wide base balancers): the wide gates
+//     run through the same scalar-per-lane code in both tiers, so simd
+//     and batch should be near-identical — measured as a sanity check,
+//     never gated.
+//
+// Acceptance gate (exit 1 on failure): on every width-2-dominated network,
+// the simd backend's best throughput across batch sizes is at least that
+// of the batch backend (within a small tolerance for timer noise). The
+// gate only arms when the AVX2 kernels are compiled in
+// (engine::simd::compiled_in()); elsewhere the report is informational —
+// the simd backend degrades to the scalar-kernel fallback there and parity
+// is all that is expected.
+//
+// Emits BENCH_simd.json: one row per (network, batch_size) with the
+// per-backend throughputs and the simd/batch ratio.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "baseline/batcher.h"
+#include "baseline/bitonic.h"
+#include "bench_common.h"
+#include "core/cost_model.h"
+#include "core/k_network.h"
+#include "engine/backend.h"
+#include "engine/execution_plan.h"
+#include "engine/simd_kernels.h"
+#include "runtime/runtime.h"
+#include "seq/generators.h"
+
+namespace {
+
+using namespace scn;
+
+constexpr std::size_t kBatchSizes[] = {64, 256, 1024, 4096};
+
+std::vector<std::vector<Count>> make_inputs(std::size_t width,
+                                            std::size_t n) {
+  std::mt19937_64 rng(2024);
+  std::vector<std::vector<Count>> inputs;
+  inputs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    inputs.push_back(random_count_vector(rng, width, 1000));
+  }
+  return inputs;
+}
+
+double best_time(const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Sweep {
+  const char* network;
+  std::size_t batch_size;
+  double width2_fraction;
+  double vps[4];  // indexed like engine::registered_backends()
+};
+
+Sweep sweep(const char* name, const ExecutionPlan& plan, Runtime& rt,
+            std::size_t batch_size) {
+  const auto inputs = make_inputs(plan.width(), batch_size);
+  Sweep s{name, batch_size, engine::plan_shape(plan).width2_fraction(), {}};
+  const auto all = engine::registered_backends();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const double t = best_time([&] {
+      benchmark::DoNotOptimize(engine::sort_batch(plan, inputs, rt, all[i]));
+    });
+    s.vps[i] = static_cast<double>(batch_size) / t;
+  }
+  return s;
+}
+
+// Index of a backend in registered_backends() order.
+std::size_t slot(EngineBackend b) {
+  const auto all = engine::registered_backends();
+  return static_cast<std::size_t>(
+      std::find(all.begin(), all.end(), b) - all.begin());
+}
+
+void backend_bench(benchmark::State& state, EngineBackend b) {
+  static const Network net = make_bitonic_network(5);
+  const ExecutionPlan plan = compile_plan(net);
+  const auto inputs = make_inputs(net.width(), 4096);
+  Runtime rt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::sort_batch(plan, inputs, rt, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+
+void BM_BatchBitonic32(benchmark::State& state) {
+  backend_bench(state, EngineBackend::kBatch);
+}
+BENCHMARK(BM_BatchBitonic32)->Unit(benchmark::kMillisecond);
+
+void BM_SimdBitonic32(benchmark::State& state) {
+  backend_bench(state, EngineBackend::kSimd);
+}
+BENCHMARK(BM_SimdBitonic32)->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedBitonic32(benchmark::State& state) {
+  backend_bench(state, EngineBackend::kThreaded);
+}
+BENCHMARK(BM_ThreadedBitonic32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool gated = engine::simd::compiled_in();
+  bench::print_header(
+      "E-SIMD  Explicit AVX2 kernels vs auto-vectorized batch tier",
+      "simd >= batch vectors/sec on width-2-dominated plans (AVX2 hosts)");
+  if (!gated) {
+    std::printf("AVX2 kernels not compiled in: report is informational, "
+                "the gate is off.\n");
+  }
+
+  struct Net {
+    const char* name;
+    Network net;
+    bool width2_dominated;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"bitonic32", make_bitonic_network(5), true});
+  nets.push_back({"batcher24", make_batcher_network(24), true});
+  nets.push_back({"K(4x4x4)", make_k_network({4, 4, 4}), false});
+
+  Runtime rt;
+  std::printf("%-11s %6s %6s %12s %12s %12s %12s %8s\n", "network", "B",
+              "w2frac", "scalar v/s", "batch v/s", "simd v/s",
+              "threaded v/s", "simd/x");
+  bench::print_row_rule();
+
+  bench::JsonReport report("BENCH_simd.json", "simd_backends");
+  const std::size_t sc = slot(EngineBackend::kScalar);
+  const std::size_t ba = slot(EngineBackend::kBatch);
+  const std::size_t si = slot(EngineBackend::kSimd);
+  const std::size_t th = slot(EngineBackend::kThreaded);
+  bool all_pass = true;
+  for (const Net& n : nets) {
+    const ExecutionPlan plan = compile_plan(n.net);
+    double best_ratio = 0.0;
+    for (const std::size_t batch_size : kBatchSizes) {
+      const Sweep s = sweep(n.name, plan, rt, batch_size);
+      const double ratio = s.vps[si] / s.vps[ba];
+      best_ratio = std::max(best_ratio, ratio);
+      std::printf("%-11s %6zu %6.2f %12.0f %12.0f %12.0f %12.0f %7.2fx\n",
+                  s.network, s.batch_size, s.width2_fraction, s.vps[sc],
+                  s.vps[ba], s.vps[si], s.vps[th], ratio);
+      report.begin_row();
+      report.kv("network", s.network);
+      report.kv("batch_size", static_cast<std::uint64_t>(s.batch_size));
+      report.kv("width2_fraction", s.width2_fraction);
+      report.kv("scalar_vps", s.vps[sc]);
+      report.kv("batch_vps", s.vps[ba]);
+      report.kv("simd_vps", s.vps[si]);
+      report.kv("threaded_vps", s.vps[th]);
+      report.kv("simd_over_batch", ratio);
+      report.kv("gated", gated && n.width2_dominated);
+      report.end_row();
+    }
+    if (n.width2_dominated) {
+      // Gate on the best batch size: the claim is "the explicit kernels
+      // win where they apply", not "they win at every sweep point" —
+      // tiny batches are dominated by pack/unpack in both tiers. 5%
+      // tolerance absorbs timer noise on shared CI runners.
+      const bool pass = !gated || best_ratio >= 0.95;
+      all_pass = all_pass && pass;
+      std::printf("%-11s best simd/batch %.2fx %s\n", n.name, best_ratio,
+                  gated ? bench::mark(pass) : "(info)");
+    }
+    bench::print_row_rule();
+  }
+  const bool ok = report.finish(all_pass);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

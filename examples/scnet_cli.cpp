@@ -11,8 +11,13 @@
 //   scnet_cli count t0,t1,... < net.scnet    quiescent outputs for a load
 //   scnet_cli sort v0,v1,...  < net.scnet    comparator outputs for values
 //   scnet_cli sort --engine=plan v0,...      same, via the compiled engine
+//                                            (backend from SCNET_BACKEND,
+//                                            default auto)
+//   scnet_cli sort --engine=simd v0,...      compiled engine on a forced
+//                                            backend (auto|scalar|batch|
+//                                            simd|threaded)
 //   scnet_cli sort --engine=plan --batch N   sort N random vectors (SoA
-//                                            batch over the thread pool)
+//                                            batch, backend by dispatch)
 //   scnet_cli sort --engine=plan --passes=aggressive ...  pick the pass
 //                                            pipeline level for the plan
 //   scnet_cli optimize [--passes=L] [--semantics=S] < net.scnet
@@ -52,6 +57,7 @@
 #include "core/k_network.h"
 #include "core/l_network.h"
 #include "core/r_network.h"
+#include "engine/backend.h"
 #include "engine/batch_engine.h"
 #include "engine/execution_plan.h"
 #include "net/analyze.h"
@@ -85,7 +91,8 @@ int usage() {
                "  scnet_cli build {batcher|bubble} <width>\n"
                "  scnet_cli {info|analyze|svg|verify|dot|ascii} < net.scnet\n"
                "  scnet_cli count <t0,t1,...> < net.scnet\n"
-               "  scnet_cli sort [--engine={interp|plan}] "
+               "  scnet_cli sort [--engine={interp|plan|auto|scalar|batch|"
+               "simd|threaded}] "
                "[--passes={none|default|aggressive}] <v0,v1,...> < net.scnet\n"
                "  scnet_cli sort --engine=plan --batch <N> [--seed <s>] "
                "< net.scnet\n"
@@ -242,21 +249,33 @@ int cmd_sort(Runtime& rt, const Network& net, int argc, char** argv) {
       values_arg = arg;
     }
   }
+  // `interp` is the per-gate interpreter; `plan` is the compiled engine
+  // under the runtime's backend request (SCNET_BACKEND, default auto); a
+  // backend name is the compiled engine with that backend forced.
+  std::optional<EngineBackend> forced;
   if (engine != "interp" && engine != "plan") {
-    std::fprintf(stderr, "unknown engine '%s' (interp|plan)\n",
-                 engine.c_str());
-    return 2;
+    forced = parse_backend(engine);
+    if (!forced) {
+      std::fprintf(stderr,
+                   "unknown engine '%s' (valid: interp|plan|auto|scalar|"
+                   "batch|simd|threaded)\n",
+                   engine.c_str());
+      return 2;
+    }
   }
   const auto plan_for_net = [&] {
     return rt.compiled(net, passes,
                        PassOptions{.semantics = Semantics::kComparator});
   };
+  const auto backend_choice = [&](const CachedPlan& cached) {
+    return forced ? *forced : cached.backend;
+  };
 
   if (batch > 0) {
     // Batch demo/throughput mode: sort `batch` random vectors through the
-    // compiled engine on the shared pool, cross-check one lane against the
-    // per-gate interpreter, and report throughput.
-    if (engine != "plan") {
+    // compiled engine, cross-check one lane against the per-gate
+    // interpreter, and report throughput.
+    if (engine == "interp") {
       std::fprintf(stderr, "--batch requires --engine=plan\n");
       return 2;
     }
@@ -271,7 +290,8 @@ int cmd_sort(Runtime& rt, const Network& net, int argc, char** argv) {
                               static_cast<Count>(17 * net.width())));
     }
     const auto t0 = std::chrono::steady_clock::now();
-    const auto outs = plan_sort_batch(plan, inputs, rt);
+    const auto outs =
+        scn::engine::sort_batch(plan, inputs, rt, backend_choice(cached));
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     const bool agree =
@@ -290,9 +310,13 @@ int cmd_sort(Runtime& rt, const Network& net, int argc, char** argv) {
     std::fprintf(stderr, "need %zu values\n", net.width());
     return 2;
   }
-  const std::vector<Count> out =
-      engine == "plan" ? plan_comparator_output(*plan_for_net().plan, in)
-                       : comparator_output_counts(net, in);
+  std::vector<Count> out;
+  if (engine == "interp") {
+    out = comparator_output_counts(net, in);
+  } else {
+    const CachedPlan cached = plan_for_net();
+    out = scn::engine::sorted_output(*cached.plan, in, backend_choice(cached));
+  }
   std::printf("%s\n", format_sequence(out).c_str());
   return 0;
 }

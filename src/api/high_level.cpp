@@ -5,7 +5,7 @@
 
 #include "core/family.h"
 #include "core/module.h"
-#include "engine/batch_engine.h"
+#include "engine/backend.h"
 #include "opt/plan_cache.h"
 #include "runtime/runtime.h"
 #include "service/front_end.h"
@@ -31,8 +31,8 @@ obs::MetricsSnapshot metrics_snapshot(Runtime& rt) {
   // Touch both caches first: their constructors register the
   // module_cache.* / plan_cache.* metrics, and a snapshot taken before
   // any construction work should still list them (at zero).
-  rt.module_cache();
-  rt.plan_cache();
+  (void)rt.module_cache();
+  (void)rt.plan_cache();
   return rt.metrics().snapshot();
 }
 
@@ -43,8 +43,8 @@ CacheStatsReport cache_stats(Runtime& rt) {
   // counters ARE registry counters; entries/bytes/capacity are gauges),
   // so the report reads straight from it — one source of truth shared
   // with metrics_snapshot() and the CLI's --metrics flag.
-  rt.module_cache();
-  rt.plan_cache();
+  (void)rt.module_cache();
+  (void)rt.plan_cache();
   const auto& reg = rt.metrics();
   return CacheStatsReport{
       .module_hits = reg.value("module_cache.hits"),
@@ -75,16 +75,18 @@ Sorter::Sorter(std::size_t width, Options options)
 Sorter::Sorter(std::size_t width, Options options, Runtime& rt)
     : net_(width >= 2 ? pick_network(width, options.max_comparator,
                                      NetworkKind::kL, rt)
-                      : NetworkBuilder(width).finish_identity()),
-      plan_(rt.compiled(net_,
-                        PassOptions{.semantics = Semantics::kComparator})
-                .plan) {}
+                      : NetworkBuilder(width).finish_identity()) {
+  const CachedPlan cached =
+      rt.compiled(net_, PassOptions{.semantics = Semantics::kComparator});
+  plan_ = cached.plan;
+  backend_ = cached.backend;
+}
 
 const ExecutionPlan& Sorter::plan() const { return *plan_; }
 
 void Sorter::sort(std::span<Count> values) const {
   assert(values.size() == net_.width());
-  std::vector<Count> out = plan_comparator_output(*plan_, values);
+  std::vector<Count> out = engine::sorted_output(*plan_, values, backend_);
   // Plan output is descending in logical order; the API promises ascending.
   std::reverse(out.begin(), out.end());
   std::copy(out.begin(), out.end(), values.begin());

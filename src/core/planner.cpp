@@ -35,11 +35,22 @@ std::vector<Plan> plan_candidates(const PlanRequirements& req) {
       const ContentionEstimate est = estimate_contention(plan.network);
       plan.predicted_latency =
           est.predicted_latency(req.concurrency, req.alpha, req.beta);
+      PlanShape shape;
+      shape.width = plan.network.width();
+      shape.depth = plan.network.depth();
+      for (std::size_t gi = 0; gi < plan.network.gate_count(); ++gi) {
+        (plan.network.gate_wires(gi).size() == 2 ? shape.pair_gates
+                                                 : shape.wide_gates) += 1;
+      }
+      plan.recommended_backend =
+          select_backend(shape, req.batch_lanes, machine_caps());
       std::ostringstream why;
       why << to_string(kind) << "(" << format_factors(factors) << "): depth "
           << plan.network.depth() << ", max balancer "
           << plan.network.max_gate_width() << ", predicted latency "
-          << plan.predicted_latency << " at T=" << req.concurrency;
+          << plan.predicted_latency << " at T=" << req.concurrency
+          << ", engine backend " << to_string(plan.recommended_backend)
+          << " at B=" << req.batch_lanes;
       plan.rationale = why.str();
       plans.push_back(std::move(plan));
     }

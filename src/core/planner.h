@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_model.h"
 #include "core/family.h"
 #include "net/network.h"
 
@@ -24,6 +25,10 @@ struct PlanRequirements {
   double alpha = 1.0;                  ///< per-hop cost
   double beta = 16.0;                  ///< serialization cost per contender
   std::size_t max_candidates = 64;     ///< factorization enumeration cap
+  /// Expected vectors per engine dispatch: drives the recommended engine
+  /// backend the same way lane count drives select_backend() at run time
+  /// (1 = single-vector use, recommends scalar).
+  std::size_t batch_lanes = 1;
 };
 
 struct Plan {
@@ -31,6 +36,10 @@ struct Plan {
   std::vector<std::size_t> factors;
   Network network;
   double predicted_latency = 0.0;
+  /// select_backend() applied to this candidate's gate-shape at
+  /// req.batch_lanes under this build's machine_caps() — what `auto`
+  /// dispatch would pick for the same workload.
+  EngineBackend recommended_backend = EngineBackend::kScalar;
   std::string rationale;  ///< human-readable summary of the choice
 };
 

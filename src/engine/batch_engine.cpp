@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "engine/backend.h"
 #include "engine/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -383,16 +384,19 @@ std::vector<std::vector<Count>> plan_count_batch(
   return run_packed(plan, inputs, pool, count_runner());
 }
 
+// The runtime-scoped wrappers go through the backend dispatcher: the
+// runtime's configured request (SCNET_BACKEND / Options::backend, default
+// auto) picks the tier instead of hardwiring the pool-sharded one.
 std::vector<std::vector<Count>> plan_sort_batch(
     const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
     Runtime& rt) {
-  return plan_sort_batch(plan, inputs, &rt.pool());
+  return engine::sort_batch(plan, inputs, rt, rt.backend());
 }
 
 std::vector<std::vector<Count>> plan_count_batch(
     const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
     Runtime& rt) {
-  return plan_count_batch(plan, inputs, &rt.pool());
+  return engine::count_batch(plan, inputs, rt, rt.backend());
 }
 
 }  // namespace scn

@@ -87,9 +87,11 @@ void run_plan_counts_batch(const ExecutionPlan& plan,
     const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
     ThreadPool* pool = nullptr);
 
-/// Runtime-scoped wrappers: shard over `rt`'s pool (Runtime::shared()'s
-/// pool is the process-wide one, so these match the explicit-pool calls
-/// the pre-runtime call sites made).
+/// Runtime-scoped wrappers: dispatch through the backend registry
+/// (engine/backend.h) under `rt.backend()` — SCNET_BACKEND /
+/// Runtime::Options::backend, default `auto`, which picks the tier from
+/// plan shape x lane count x machine caps. Outputs are bit-identical to
+/// the explicit-pool overloads on every backend.
 [[nodiscard]] std::vector<std::vector<Count>> plan_sort_batch(
     const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
     Runtime& rt);

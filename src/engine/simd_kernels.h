@@ -1,0 +1,104 @@
+// Explicit SIMD compare-exchange kernels for the `simd` engine backend.
+//
+// The batch tier relies on the compiler auto-vectorizing the lane loops in
+// batch_engine.cpp; these kernels spell the same row-wise operations out in
+// AVX2 intrinsics so the width-2 inner loop is guaranteed to run 4 lanes
+// per instruction regardless of optimizer mood. AVX2 has no 64-bit min/max
+// (those arrive with AVX-512), so the compare-exchange is a signed
+// `cmpgt_epi64` feeding two `blendv_epi8` selects — exactly the branchless
+// `a > b ? a : b` / `a > b ? b : a` of engine::pair_sort_kernel, making the
+// results bit-identical to the scalar kernel by construction.
+//
+// The count kernel uses add + logical shift: quiescent counts are
+// non-negative, so `_mm256_srli_epi64` (logical) matches the scalar
+// kernel's arithmetic `>>` exactly.
+//
+// Compile-time guarded: without __AVX2__ (non-x86 builds, or x86 without
+// -march=native / -mavx2) every function falls back to the scalar kernels,
+// so the backend stays registered and bit-identical everywhere — only the
+// speedup is conditional. compiled_in() reports which flavor this TU got.
+#pragma once
+
+#include <cstddef>
+
+#include "engine/kernels.h"
+#include "seq/sequence_props.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace scn::engine::simd {
+
+/// Whether the AVX2 kernels are compiled in (vs the scalar fallback).
+[[nodiscard]] constexpr bool compiled_in() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Lanes per vector register (1 in the fallback build).
+inline constexpr std::size_t kLanes = compiled_in() ? 4 : 1;
+
+/// Width-2 comparator over `n` lanes of two rows: hi[j] = max, lo[j] = min.
+inline void pair_sort_rows(Count* hi, Count* lo, std::size_t n) {
+#if defined(__AVX2__)
+  std::size_t j = 0;
+  for (; j + 2 * kLanes <= n; j += 2 * kLanes) {
+    const __m256i a0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(hi + j));
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(lo + j));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(hi + j + kLanes));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(lo + j + kLanes));
+    const __m256i gt0 = _mm256_cmpgt_epi64(a0, b0);
+    const __m256i gt1 = _mm256_cmpgt_epi64(a1, b1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + j),
+                        _mm256_blendv_epi8(b0, a0, gt0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + j),
+                        _mm256_blendv_epi8(a0, b0, gt0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + j + kLanes),
+                        _mm256_blendv_epi8(b1, a1, gt1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + j + kLanes),
+                        _mm256_blendv_epi8(a1, b1, gt1));
+  }
+  for (; j + kLanes <= n; j += kLanes) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<__m256i*>(hi + j));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<__m256i*>(lo + j));
+    const __m256i gt = _mm256_cmpgt_epi64(a, b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi + j),
+                        _mm256_blendv_epi8(b, a, gt));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + j),
+                        _mm256_blendv_epi8(a, b, gt));
+  }
+  for (; j < n; ++j) pair_sort_kernel(hi[j], lo[j]);
+#else
+  for (std::size_t j = 0; j < n; ++j) pair_sort_kernel(hi[j], lo[j]);
+#endif
+}
+
+/// Width-2 balancer on quiescent counts over `n` lanes:
+/// hi[j] = ceil((hi[j]+lo[j])/2), lo[j] = floor((hi[j]+lo[j])/2).
+inline void pair_count_rows(Count* hi, Count* lo, std::size_t n) {
+#if defined(__AVX2__)
+  const __m256i one = _mm256_set1_epi64x(1);
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<__m256i*>(hi + j));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<__m256i*>(lo + j));
+    const __m256i total = _mm256_add_epi64(a, b);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(hi + j),
+        _mm256_srli_epi64(_mm256_add_epi64(total, one), 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo + j),
+                        _mm256_srli_epi64(total, 1));
+  }
+  for (; j < n; ++j) pair_count_kernel(hi[j], lo[j]);
+#else
+  for (std::size_t j = 0; j < n; ++j) pair_count_kernel(hi[j], lo[j]);
+#endif
+}
+
+}  // namespace scn::engine::simd

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "core/cost_model.h"
 #include "core/module.h"
 #include "obs/metrics.h"
 #include "opt/plan_cache.h"
@@ -12,6 +13,7 @@ namespace scn {
 struct Runtime::Impl {
   Options opts;
   PassLevel pass_level = PassLevel::kDefault;
+  EngineBackend backend = EngineBackend::kAuto;
   bool is_shared = false;
 
   // Owned slots are null for shared(); the raw pointers always point at
@@ -35,6 +37,7 @@ Runtime::Runtime() : Runtime(Options{}) {}
 Runtime::Runtime(const Options& options) : impl_(std::make_unique<Impl>()) {
   impl_->opts = options;
   impl_->pass_level = options.pass_level.value_or(default_pass_level());
+  impl_->backend = options.backend.value_or(default_backend());
   // Registry first: the caches' constructors register their counters and
   // gauges into it (and Impl members destroy in reverse order, so the
   // registry outlives the caches that publish through it).
@@ -53,6 +56,7 @@ Runtime::Runtime(const Options& options) : impl_(std::make_unique<Impl>()) {
 Runtime::Runtime(SharedTag) : impl_(std::make_unique<Impl>()) {
   impl_->is_shared = true;
   impl_->pass_level = default_pass_level();
+  impl_->backend = default_backend();
   impl_->registry = &obs::MetricsRegistry::shared();
   impl_->modules = &ModuleCache::shared();
   impl_->plans = &PlanCache::shared();
@@ -80,13 +84,15 @@ ThreadPool& Runtime::pool() {
 
 PassLevel Runtime::pass_level() const { return impl_->pass_level; }
 
+EngineBackend Runtime::backend() const { return impl_->backend; }
+
 CachedPlan Runtime::compiled(const Network& net, const PassOptions& opts) {
-  return impl_->plans->compiled(net, impl_->pass_level, opts);
+  return impl_->plans->compiled(net, impl_->pass_level, opts, impl_->backend);
 }
 
 CachedPlan Runtime::compiled(const Network& net, PassLevel level,
                              const PassOptions& opts) {
-  return impl_->plans->compiled(net, level, opts);
+  return impl_->plans->compiled(net, level, opts, impl_->backend);
 }
 
 void Runtime::clear_caches() {

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -43,6 +44,12 @@ class ModuleCache;
 class PlanCache;
 class ThreadPool;
 struct CachedPlan;
+
+// Opaque redeclaration of core/cost_model.h's backend enum: this header
+// sits below core/ in the include graph (core constructors take Runtime&),
+// so including cost_model.h here would cycle. The fixed underlying type
+// makes the opaque form complete enough for the Options field below.
+enum class EngineBackend : std::uint8_t;
 
 namespace obs {
 class MetricsRegistry;
@@ -66,6 +73,10 @@ class Runtime {
     /// Whether the module cache interns templates (false => the imperative
     /// construction path). nullopt => SCNET_MODULE_CACHE != "0".
     std::optional<bool> module_cache;
+    /// Engine backend request this runtime's compiled plans carry (see
+    /// engine/backend.h). nullopt => SCNET_BACKEND (else kAuto), read once
+    /// at construction like the other environment defaults.
+    std::optional<EngineBackend> backend;
   };
 
   /// A fully private runtime: fresh caches, a fresh metrics registry the
@@ -94,6 +105,11 @@ class Runtime {
   /// The pipeline level compiled() applies by default (resolved once at
   /// construction from Options::pass_level / SCNET_DEFAULT_PASSES).
   [[nodiscard]] PassLevel pass_level() const;
+
+  /// The engine backend request compiled() keys its plans on (resolved
+  /// once at construction from Options::backend / SCNET_BACKEND). kAuto
+  /// defers the concrete choice to the engine dispatcher per call.
+  [[nodiscard]] EngineBackend backend() const;
 
   /// Compiles (or fetches) the plan for `net` through THIS runtime's plan
   /// cache at pass_level(); the explicit-level overload bypasses the

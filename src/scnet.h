@@ -25,10 +25,12 @@
 #include "core/two_merger.h"            // IWYU pragma: export
 #include "count/counting_tree.h"        // IWYU pragma: export
 #include "count/fetch_inc.h"            // IWYU pragma: export
+#include "engine/backend.h"             // IWYU pragma: export
 #include "engine/batch.h"               // IWYU pragma: export
 #include "engine/batch_engine.h"        // IWYU pragma: export
 #include "engine/execution_plan.h"      // IWYU pragma: export
 #include "engine/kernels.h"             // IWYU pragma: export
+#include "engine/simd_kernels.h"        // IWYU pragma: export
 #include "net/analyze.h"                // IWYU pragma: export
 #include "net/export.h"                 // IWYU pragma: export
 #include "net/linked_network.h"         // IWYU pragma: export

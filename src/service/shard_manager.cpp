@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "core/k_network.h"
+#include "engine/backend.h"
 #include "obs/metrics.h"
+#include "opt/plan_cache.h"
 #include "perf/contention_model.h"
 #include "verify/checkers.h"
 
@@ -205,6 +207,29 @@ ShardManager::LinearityReport ShardManager::verify_linearity() const {
                       " outputs are not the exact step sequence: " +
                       format_sequence(counts);
       return report;
+    }
+    if (j < active && routed > 0) {
+      // Engine cross-check: propagate the shard's routed total through its
+      // compiled plan (balancer semantics) on the shard's own runtime and
+      // backend request. A counting network's quiescent output depends only
+      // on the total, so the dispatched count engine must reproduce the
+      // concurrent traversal's counts exactly, whatever backend resolves.
+      Shard& shard = *shards_[j];
+      const CachedPlan cached = shard.runtime.compiled(
+          shard.network, PassOptions{.semantics = Semantics::kBalancer});
+      std::vector<Count> in(shard.network.width());
+      for (std::size_t w = 0; w < in.size(); ++w) {
+        in[w] = static_cast<Count>(ceil_share(routed, w, in.size()));
+      }
+      const std::vector<Count> engine_counts =
+          engine::counts_output(*cached.plan, in, cached.backend);
+      if (engine_counts != counts) {
+        report.detail = "shard " + std::to_string(j) +
+                        " engine cross-check mismatch: concurrent " +
+                        format_sequence(counts) + " vs engine " +
+                        format_sequence(engine_counts);
+        return report;
+      }
     }
   }
   // Every active shard holds THE step sequence of its round-robin share,

@@ -138,7 +138,11 @@ class ShardManager final : public FetchIncCounter {
   /// Verifies, from quiescent shard state, that the current epoch handed
   /// out exactly {epoch_base .. epoch_base + D - 1}: every active shard's
   /// outputs are THE step sequence of its dispatch share ceil((D-i)/A),
-  /// and inactive shards are empty. Requires quiescence.
+  /// and inactive shards are empty. Each active shard's counts are
+  /// additionally cross-checked against the count engine (the shard's
+  /// compiled plan run through the backend dispatcher on its private
+  /// runtime), pinning the concurrent path to the engine's propagation.
+  /// Requires quiescence.
   [[nodiscard]] LinearityReport verify_linearity() const;
 
   struct RebalanceDecision {

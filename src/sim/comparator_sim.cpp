@@ -1,6 +1,8 @@
 #include "sim/comparator_sim.h"
 
-#include "engine/batch_engine.h"
+#include <algorithm>
+
+#include "engine/backend.h"
 #include "opt/plan_cache.h"
 
 namespace scn {
@@ -15,7 +17,8 @@ std::vector<Count> network_sort_ascending(const Network& net,
                                           Runtime& rt) {
   const CachedPlan cached =
       rt.compiled(net, PassOptions{.semantics = Semantics::kComparator});
-  std::vector<Count> out = plan_comparator_output(*cached.plan, values);
+  std::vector<Count> out =
+      engine::sorted_output(*cached.plan, values, cached.backend);
   std::reverse(out.begin(), out.end());
   return out;
 }

@@ -1,0 +1,243 @@
+// The backend registry and its dispatch policy: name/parse round-trips,
+// capability descriptors, select_backend() threshold behavior, kAuto
+// resolution against real plans, and the Runtime/plan-cache plumbing that
+// carries a backend request from SCNET_BACKEND / Runtime::Options to the
+// dispatcher. Bit-identity of the backends themselves is pinned by the
+// randomized sweep in engine_cross_check_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "baseline/bitonic.h"
+#include "core/cost_model.h"
+#include "core/k_network.h"
+#include "engine/backend.h"
+#include "engine/execution_plan.h"
+#include "engine/simd_kernels.h"
+#include "opt/plan_cache.h"
+#include "runtime/runtime.h"
+#include "seq/generators.h"
+
+namespace scn {
+namespace {
+
+TEST(BackendNames, ToStringParseRoundTrip) {
+  for (const EngineBackend b : engine::registered_backends()) {
+    const auto parsed = parse_backend(to_string(b));
+    ASSERT_TRUE(parsed.has_value()) << to_string(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_EQ(parse_backend("auto"), EngineBackend::kAuto);
+  EXPECT_EQ(std::string(to_string(EngineBackend::kAuto)), "auto");
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_FALSE(parse_backend("sse").has_value());
+  EXPECT_FALSE(parse_backend("Scalar").has_value());  // case-sensitive
+}
+
+TEST(BackendRegistry, FourConcreteBackendsWithDistinctNames) {
+  const auto all = engine::registered_backends();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], EngineBackend::kScalar);
+  EXPECT_EQ(all[1], EngineBackend::kBatch);
+  EXPECT_EQ(all[2], EngineBackend::kSimd);
+  EXPECT_EQ(all[3], EngineBackend::kThreaded);
+  for (const EngineBackend b : all) {
+    EXPECT_STREQ(engine::backend(b).name(), to_string(b));
+  }
+}
+
+TEST(BackendRegistry, CapabilityDescriptors) {
+  EXPECT_FALSE(engine::backend(EngineBackend::kScalar).caps().lane_parallel);
+  EXPECT_TRUE(engine::backend(EngineBackend::kBatch).caps().lane_parallel);
+  EXPECT_TRUE(engine::backend(EngineBackend::kSimd).caps().lane_parallel);
+  const engine::BackendCaps threaded =
+      engine::backend(EngineBackend::kThreaded).caps();
+  EXPECT_TRUE(threaded.lane_parallel);
+  EXPECT_TRUE(threaded.uses_pool);
+  EXPECT_EQ(threaded.min_profitable_lanes, kThreadedMinLanes);
+  // explicit_simd reports the build truth, whatever it is on this host.
+  EXPECT_EQ(engine::backend(EngineBackend::kSimd).caps().explicit_simd,
+            engine::simd::compiled_in());
+}
+
+TEST(DispatchPolicy, SingleLaneIsAlwaysScalar) {
+  const PlanShape pairs{.width = 16, .depth = 10, .pair_gates = 80,
+                        .wide_gates = 0};
+  const MachineCaps everything{.simd = true, .threads = 8};
+  EXPECT_EQ(select_backend(pairs, 1, everything), EngineBackend::kScalar);
+  EXPECT_EQ(select_backend(pairs, 0, everything), EngineBackend::kScalar);
+}
+
+TEST(DispatchPolicy, ThreadedNeedsLanesWorkAndThreads) {
+  const PlanShape pairs{.width = 16, .depth = 10, .pair_gates = 2048,
+                        .wide_gates = 0};
+  const MachineCaps multi{.simd = false, .threads = 8};
+  const MachineCaps single{.simd = false, .threads = 1};
+  // 256 lanes x 2048 gates = 1 << 19 >= kThreadedMinWork.
+  EXPECT_EQ(select_backend(pairs, kThreadedMinLanes, multi),
+            EngineBackend::kThreaded);
+  // Same shape, one thread: no pool to win on.
+  EXPECT_EQ(select_backend(pairs, kThreadedMinLanes, single),
+            EngineBackend::kBatch);
+  // Enough lanes but a tiny plan: lanes x gates below the work floor.
+  const PlanShape tiny{.width = 4, .depth = 3, .pair_gates = 6,
+                       .wide_gates = 0};
+  EXPECT_EQ(select_backend(tiny, kThreadedMinLanes, multi),
+            EngineBackend::kBatch);
+  // Lots of work but too few lanes to shard.
+  EXPECT_EQ(select_backend(pairs, kThreadedMinLanes - 1, multi),
+            EngineBackend::kBatch);
+}
+
+TEST(DispatchPolicy, SimdWantsWidth2DominatedPlansAndTheKernels) {
+  const MachineCaps simd_host{.simd = true, .threads = 1};
+  const MachineCaps plain_host{.simd = false, .threads = 1};
+  const PlanShape pairs{.width = 16, .depth = 10, .pair_gates = 80,
+                        .wide_gates = 0};
+  EXPECT_EQ(select_backend(pairs, 64, simd_host), EngineBackend::kSimd);
+  EXPECT_EQ(select_backend(pairs, 64, plain_host), EngineBackend::kBatch);
+  // 50% width-2 is below kSimdMinWidth2Fraction: wide gates dominate the
+  // run time and they execute through the same code as the batch tier.
+  const PlanShape mixed{.width = 16, .depth = 10, .pair_gates = 40,
+                        .wide_gates = 40};
+  EXPECT_EQ(select_backend(mixed, 64, simd_host), EngineBackend::kBatch);
+  // A gate-free plan counts as width-2 dominated (fraction 1.0).
+  const PlanShape empty{.width = 4, .depth = 0, .pair_gates = 0,
+                        .wide_gates = 0};
+  EXPECT_EQ(select_backend(empty, 64, simd_host), EngineBackend::kSimd);
+  EXPECT_DOUBLE_EQ(empty.width2_fraction(), 1.0);
+}
+
+TEST(DispatchPolicy, PlanShapeExtraction) {
+  // bitonic(3): width 8, every gate width-2.
+  const ExecutionPlan b = compile_plan(make_bitonic_network(3));
+  const PlanShape bs = engine::plan_shape(b);
+  EXPECT_EQ(bs.width, 8u);
+  EXPECT_EQ(bs.depth, b.depth());
+  EXPECT_EQ(bs.pair_gates + bs.wide_gates, b.gate_count());
+  EXPECT_EQ(bs.wide_gates, 0u);
+  EXPECT_DOUBLE_EQ(bs.width2_fraction(), 1.0);
+
+  // K(2,2): the base balancers are 4-wide, so wide gates exist.
+  const ExecutionPlan k = compile_plan(make_k_network({2, 2}));
+  const PlanShape ks = engine::plan_shape(k);
+  EXPECT_GT(ks.wide_gates, 0u);
+  EXPECT_LT(ks.width2_fraction(), 1.0);
+}
+
+TEST(DispatchPolicy, ResolvePassesConcreteRequestsThrough) {
+  const ExecutionPlan plan = compile_plan(make_bitonic_network(3));
+  for (const EngineBackend b : engine::registered_backends()) {
+    EXPECT_EQ(engine::resolve_backend(b, plan, 1), b);
+    EXPECT_EQ(engine::resolve_backend(b, plan, 4096), b);
+  }
+  // kAuto resolves per the policy: single lane -> scalar, always.
+  EXPECT_EQ(engine::resolve_backend(EngineBackend::kAuto, plan, 1),
+            EngineBackend::kScalar);
+  const EngineBackend many =
+      engine::resolve_backend(EngineBackend::kAuto, plan, 64);
+  EXPECT_NE(many, EngineBackend::kAuto);
+  EXPECT_NE(many, EngineBackend::kScalar);
+}
+
+TEST(BackendPlumbing, RuntimeOptionCarriesIntoCachedPlans) {
+  Runtime::Options options;
+  options.backend = EngineBackend::kBatch;
+  Runtime rt(options);
+  EXPECT_EQ(rt.backend(), EngineBackend::kBatch);
+  const Network net = make_k_network({2, 2}, rt);
+  const CachedPlan cached = rt.compiled(net);
+  EXPECT_EQ(cached.backend, EngineBackend::kBatch);
+}
+
+TEST(BackendPlumbing, PlanCacheKeysOnBackend) {
+  // Same network compiled under two backend requests must occupy two cache
+  // entries: the request is part of the plan's identity (a cached entry is
+  // handed back with its backend attached).
+  Runtime rt;
+  const Network net = make_k_network({2, 2}, rt);
+  PlanCache& cache = rt.plan_cache();
+  const CachedPlan a =
+      cache.compiled(net, rt.pass_level(), {}, EngineBackend::kScalar);
+  const CachedPlan b =
+      cache.compiled(net, rt.pass_level(), {}, EngineBackend::kThreaded);
+  EXPECT_FALSE(a.hit);
+  EXPECT_FALSE(b.hit) << "distinct backends must not collide in the cache";
+  EXPECT_EQ(a.backend, EngineBackend::kScalar);
+  EXPECT_EQ(b.backend, EngineBackend::kThreaded);
+  const CachedPlan again =
+      cache.compiled(net, rt.pass_level(), {}, EngineBackend::kScalar);
+  EXPECT_TRUE(again.hit);
+  EXPECT_EQ(again.backend, EngineBackend::kScalar);
+}
+
+TEST(BackendPlumbing, EnvironmentVariableSetsTheDefault) {
+  // default_backend() reads SCNET_BACKEND per call; Runtime captures it at
+  // construction. setenv/unsetenv is safe here: tests run single-threaded.
+  ASSERT_EQ(setenv("SCNET_BACKEND", "threaded", 1), 0);
+  EXPECT_EQ(default_backend(), EngineBackend::kThreaded);
+  Runtime rt;
+  EXPECT_EQ(rt.backend(), EngineBackend::kThreaded);
+  ASSERT_EQ(setenv("SCNET_BACKEND", "not-a-backend", 1), 0);
+  EXPECT_EQ(default_backend(), EngineBackend::kAuto);
+  ASSERT_EQ(unsetenv("SCNET_BACKEND"), 0);
+  EXPECT_EQ(default_backend(), EngineBackend::kAuto);
+  // The runtime constructed under the old value keeps its capture.
+  EXPECT_EQ(rt.backend(), EngineBackend::kThreaded);
+}
+
+TEST(BackendDispatch, SingleVectorEntryPointsMatchScalarReference) {
+  std::mt19937_64 rng(7);
+  const Network net = make_k_network({2, 3});
+  const ExecutionPlan plan = compile_plan(net);
+  const auto in = random_count_vector(rng, net.width(), 50);
+  const std::vector<Count> ref_sorted =
+      engine::sorted_output(plan, in, EngineBackend::kScalar);
+  const std::vector<Count> ref_counts =
+      engine::counts_output(plan, in, EngineBackend::kScalar);
+  for (const EngineBackend b : engine::registered_backends()) {
+    EXPECT_EQ(engine::sorted_output(plan, in, b), ref_sorted)
+        << to_string(b);
+    EXPECT_EQ(engine::counts_output(plan, in, b), ref_counts)
+        << to_string(b);
+  }
+  EXPECT_EQ(engine::sorted_output(plan, in, EngineBackend::kAuto),
+            ref_sorted);
+  EXPECT_EQ(engine::counts_output(plan, in, EngineBackend::kAuto),
+            ref_counts);
+}
+
+TEST(SimdKernels, PairRowsMatchScalarKernels) {
+  // The raw row kernels against the scalar pair kernels, across sizes that
+  // cover the unrolled main loop, the single-vector loop, and the tail.
+  std::mt19937_64 rng(11);
+  const auto random_rows = [&rng](std::size_t n) {
+    std::vector<Count> rows(n);
+    for (Count& v : rows) v = static_cast<Count>(rng() % 80);
+    return rows;
+  };
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 7u, 8u, 9u, 64u, 257u}) {
+    const auto a = random_rows(n);
+    const auto b = random_rows(n);
+    std::vector<Count> hi = a, lo = b, hi_ref = a, lo_ref = b;
+    engine::simd::pair_sort_rows(hi.data(), lo.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine::pair_sort_kernel(hi_ref[i], lo_ref[i]);
+    }
+    EXPECT_EQ(hi, hi_ref) << "sort n=" << n;
+    EXPECT_EQ(lo, lo_ref) << "sort n=" << n;
+
+    std::vector<Count> chi = a, clo = b, chi_ref = a, clo_ref = b;
+    engine::simd::pair_count_rows(chi.data(), clo.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine::pair_count_kernel(chi_ref[i], clo_ref[i]);
+    }
+    EXPECT_EQ(chi, chi_ref) << "count n=" << n;
+    EXPECT_EQ(clo, clo_ref) << "count n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace scn

@@ -94,6 +94,28 @@ TEST(Cli, SortBatchRequiresPlanEngine) {
             std::string::npos);
 }
 
+TEST(Cli, SortRejectsUnknownEngineListingValidNames) {
+  const auto r = run_command(kCli + " build K 2x2 | " + kCli +
+                             " sort --engine=warp 3,1,4,1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown engine 'warp'"), std::string::npos);
+  EXPECT_NE(r.output.find("interp|plan|auto|scalar|batch|simd|threaded"),
+            std::string::npos);
+}
+
+TEST(Cli, SortForcedBackendsMatchInterpreter) {
+  const std::string build = kCli + " build K 2x2";
+  const auto interp = run_command(build + " | " + kCli + " sort 3,1,4,1");
+  ASSERT_EQ(interp.exit_code, 0);
+  for (const std::string engine :
+       {"auto", "scalar", "batch", "simd", "threaded"}) {
+    const auto r = run_command(build + " | " + kCli + " sort --engine=" +
+                               engine + " 3,1,4,1");
+    EXPECT_EQ(r.exit_code, 0) << engine;
+    EXPECT_EQ(r.output, interp.output) << engine;
+  }
+}
+
 TEST(Cli, AnalyzeReportsStructure) {
   const auto r =
       run_command(kCli + " build R 4 4 | " + kCli + " analyze");

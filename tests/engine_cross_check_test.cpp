@@ -14,9 +14,11 @@
 #include "core/k_network.h"
 #include "core/l_network.h"
 #include "core/r_network.h"
+#include "engine/backend.h"
 #include "engine/batch_engine.h"
 #include "engine/execution_plan.h"
 #include "perf/thread_pool.h"
+#include "runtime/runtime.h"
 #include "seq/generators.h"
 #include "sim/comparator_sim.h"
 #include "sim/concurrent_sim.h"
@@ -140,6 +142,55 @@ TEST(EngineCrossCheck, AllEnginesAgreeOnQuiescentOutputs) {
     const auto total = static_cast<Count>(cfg.clients *
                                           cfg.tokens_per_client);
     ASSERT_EQ(ev.outputs, step_sequence(net.width(), total)) << "event sim";
+  }
+}
+
+TEST(EngineCrossCheck, AllBackendsBitIdenticalToScalar) {
+  // Randomized sweep over every registered engine backend: for each grid
+  // network (K/L/R widths with >2-wide gates, plus the width-2-only
+  // baselines) and a spread of batch sizes — including odd ones and one
+  // past the engine's execution-block size — the batched comparator and
+  // count outputs must be bit-identical to the scalar reference backend,
+  // lane by lane. This is the contract that makes backend choice a pure
+  // performance decision.
+  std::mt19937_64 rng(42);
+  Runtime rt;
+  for (const Network& net : grid()) {
+    const ExecutionPlan plan = compile_plan(net);
+    for (const std::size_t lanes : {1u, 7u, 33u, 257u}) {
+      std::vector<std::vector<Count>> inputs;
+      inputs.reserve(lanes);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        inputs.push_back(random_count_vector(
+            rng, net.width(), 1 + static_cast<Count>(rng() % 200)));
+      }
+      const auto ref_sort =
+          engine::sort_batch(plan, inputs, rt, EngineBackend::kScalar);
+      const auto ref_count =
+          engine::count_batch(plan, inputs, rt, EngineBackend::kScalar);
+      // The scalar reference must itself agree with the per-gate
+      // interpreter before anything is pinned against it.
+      for (std::size_t j = 0; j < lanes; ++j) {
+        ASSERT_EQ(ref_sort[j], comparator_output_counts(net, inputs[j]))
+            << "scalar vs interpreter, lane " << j;
+        ASSERT_EQ(ref_count[j], output_counts(net, inputs[j]))
+            << "scalar vs count propagation, lane " << j;
+      }
+      for (const EngineBackend b : engine::registered_backends()) {
+        ASSERT_EQ(engine::sort_batch(plan, inputs, rt, b), ref_sort)
+            << to_string(b) << " sort, " << lanes << " lanes, width "
+            << net.width();
+        ASSERT_EQ(engine::count_batch(plan, inputs, rt, b), ref_count)
+            << to_string(b) << " counts, " << lanes << " lanes, width "
+            << net.width();
+      }
+      ASSERT_EQ(engine::sort_batch(plan, inputs, rt, EngineBackend::kAuto),
+                ref_sort)
+          << "auto sort, " << lanes << " lanes";
+      ASSERT_EQ(engine::count_batch(plan, inputs, rt, EngineBackend::kAuto),
+                ref_count)
+          << "auto counts, " << lanes << " lanes";
+    }
   }
 }
 

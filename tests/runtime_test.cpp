@@ -88,7 +88,10 @@ TEST(Runtime, PrivateBuildsDoNotPolluteTheSharedRegistry) {
 }
 
 TEST(Runtime, OptionsSizeThePoolAndGateTheModuleCache) {
-  Runtime rt(Runtime::Options{.threads = 2, .module_cache = false});
+  Runtime::Options options;
+  options.threads = 2;
+  options.module_cache = false;
+  Runtime rt(options);
   EXPECT_EQ(rt.pool().size(), 2u);
   EXPECT_FALSE(rt.module_cache().enabled());
 
@@ -97,14 +100,18 @@ TEST(Runtime, OptionsSizeThePoolAndGateTheModuleCache) {
   const Network net = make_l_network({2, 3, 4}, rt);
   EXPECT_EQ(rt.module_cache().stats().entries, 0u);
   EXPECT_EQ(rt.module_cache().stats().misses, 0u);
-  Runtime cached(Runtime::Options{.module_cache = true});
+  Runtime::Options cached_options;
+  cached_options.module_cache = true;
+  Runtime cached(cached_options);
   EXPECT_EQ(structural_hash(net),
             structural_hash(make_l_network({2, 3, 4}, cached)));
   EXPECT_GT(cached.module_cache().stats().entries, 0u);
 }
 
 TEST(Runtime, PassLevelOptionControlsCompiled) {
-  Runtime none(Runtime::Options{.pass_level = PassLevel::kNone});
+  Runtime::Options none_options;
+  none_options.pass_level = PassLevel::kNone;
+  Runtime none(none_options);
   EXPECT_EQ(none.pass_level(), PassLevel::kNone);
   const Network net = make_l_network({2, 3, 4}, none);
   const CachedPlan raw = none.compiled(net);
