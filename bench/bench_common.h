@@ -4,14 +4,60 @@
 // end to end.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/network.h"
+#include "seq/generators.h"
 
 namespace scn::bench {
+
+/// True on hosts where wall-clock comparisons between concurrent
+/// implementations are meaningless (everything is time-sliced onto one
+/// core). Parallelism-sensitive gates go informational here — both the
+/// bench binaries and `scnet_cli tune --gate` key off the same test.
+inline bool single_core_host() {
+  return std::thread::hardware_concurrency() <= 1;
+}
+
+/// Wall time of one call, in seconds.
+inline double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-`reps` wall time for `fn`, in seconds — the standard timing
+/// primitive of every experiment preamble (min, not mean: the shortest
+/// observed run is the least-perturbed one).
+inline double best_time(const std::function<void()>& fn, int reps = 3) {
+  double best = time_once(fn);
+  for (int rep = 1; rep < reps; ++rep) best = std::min(best, time_once(fn));
+  return best;
+}
+
+/// `n` random input vectors of `width` — the shared batch generator
+/// (deterministic per seed, so every binary's inputs are reproducible).
+inline std::vector<std::vector<Count>> random_inputs(std::size_t width,
+                                                     std::size_t n,
+                                                     std::uint64_t seed,
+                                                     Count max_value = 1000) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<Count>> inputs;
+  inputs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    inputs.push_back(random_count_vector(rng, width, max_value));
+  }
+  return inputs;
+}
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("==============================================================\n");

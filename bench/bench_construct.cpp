@@ -43,17 +43,10 @@ using namespace scn;
 // the stamp path regressed.
 constexpr double kMinWarmSpeedup = 1.5;
 
-double time_once(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-double best_time(const std::function<void()>& fn, int reps = 5) {
-  double best = time_once(fn);
-  for (int rep = 1; rep < reps; ++rep) best = std::min(best, time_once(fn));
-  return best;
+// Construction timings amortize less than throughput loops; take two
+// extra reps over the shared default.
+double best_time(const std::function<void()>& fn) {
+  return bench::best_time(fn, 5);
 }
 
 struct Measurement {
@@ -125,15 +118,10 @@ void emit_report(const std::vector<Measurement>& ms) {
               "network", "w", "gates", "d", "imper (us)", "cold (us)",
               "warm (us)", "tmpls", "bytes", "x");
   bench::print_row_rule();
-  FILE* json = std::fopen("BENCH_construct.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"experiment\": \"module_cache_construction\",\n");
-    std::fprintf(json, "  \"min_warm_speedup\": %.1f,\n  \"results\": [\n",
-                 kMinWarmSpeedup);
-  }
+  bench::JsonReport report("BENCH_construct.json",
+                           "module_cache_construction");
   bool all_pass = true;
-  for (std::size_t i = 0; i < ms.size(); ++i) {
-    const Measurement& m = ms[i];
+  for (const Measurement& m : ms) {
     const bool pass = warm_ok(m);
     all_pass = all_pass && pass;
     const double speedup = m.imperative_s / m.warm_s;
@@ -142,26 +130,25 @@ void emit_report(const std::vector<Measurement>& ms) {
         m.label.c_str(), m.width, m.gates, m.depth, m.imperative_s * 1e6,
         m.cold_s * 1e6, m.warm_s * 1e6, m.templates, m.template_bytes,
         speedup, bench::mark(pass));
-    if (json != nullptr) {
-      std::fprintf(
-          json,
-          "    {\"network\": \"%s\", \"width\": %zu, \"gates\": %zu, "
-          "\"depth\": %u, \"imperative_us\": %.2f, \"cold_us\": %.2f, "
-          "\"warm_us\": %.2f, \"templates\": %zu, \"template_bytes\": %zu, "
-          "\"warm_speedup\": %.2f, \"cold_overhead\": %.3f, "
-          "\"identical\": %s, \"pass\": %s}%s\n",
-          m.label.c_str(), m.width, m.gates, m.depth, m.imperative_s * 1e6,
-          m.cold_s * 1e6, m.warm_s * 1e6, m.templates, m.template_bytes,
-          speedup, m.cold_s / m.imperative_s, m.identical ? "true" : "false",
-          pass ? "true" : "false", i + 1 < ms.size() ? "," : "");
-    }
+    report.begin_row();
+    report.kv("network", m.label);
+    report.kv("width", static_cast<std::uint64_t>(m.width));
+    report.kv("gates", static_cast<std::uint64_t>(m.gates));
+    report.kv("depth", static_cast<std::uint64_t>(m.depth));
+    report.kv("imperative_us", m.imperative_s * 1e6);
+    report.kv("cold_us", m.cold_s * 1e6);
+    report.kv("warm_us", m.warm_s * 1e6);
+    report.kv("templates", static_cast<std::uint64_t>(m.templates));
+    report.kv("template_bytes",
+              static_cast<std::uint64_t>(m.template_bytes));
+    report.kv("min_warm_speedup", kMinWarmSpeedup);
+    report.kv("warm_speedup", speedup);
+    report.kv("cold_overhead", m.cold_s / m.imperative_s);
+    report.kv("identical", m.identical);
+    report.kv("pass", pass);
+    report.end_row();
   }
-  if (json != nullptr) {
-    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
-                 all_pass ? "true" : "false");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_construct.json\n");
-  }
+  report.finish(all_pass);
   std::printf("\n");
 }
 

@@ -30,15 +30,29 @@ void print_table() {
   std::printf("%-22s %5s %8s %8s %8s %10s %6s\n", "factors", "width",
               "formula", "measured", "maxgate", "pairbound", "check");
   bench::print_row_rule();
+  bench::JsonReport report("BENCH_depth_k.json", "k_depth_formula");
+  bool all_pass = true;
   for (const auto& f : cases()) {
     const Network net = make_k_network(f);
     const std::size_t formula = k_depth_formula(f.size());
     const std::size_t bound = max_pair_product(f);
     const bool ok = net.depth() == formula && net.max_gate_width() <= bound;
+    all_pass = all_pass && ok;
     std::printf("%-22s %5zu %8zu %8u %8u %10zu %6s\n",
                 format_factors(f).c_str(), net.width(), formula, net.depth(),
                 net.max_gate_width(), bound, bench::mark(ok));
+    report.begin_row();
+    report.kv("factors", format_factors(f));
+    report.kv("width", static_cast<std::uint64_t>(net.width()));
+    report.kv("formula_depth", static_cast<std::uint64_t>(formula));
+    report.kv("measured_depth", static_cast<std::uint64_t>(net.depth()));
+    report.kv("max_gate_width",
+              static_cast<std::uint64_t>(net.max_gate_width()));
+    report.kv("pair_bound", static_cast<std::uint64_t>(bound));
+    report.kv("ok", ok);
+    report.end_row();
   }
+  report.finish(all_pass);
   std::printf("\n");
 }
 

@@ -3,18 +3,25 @@
 // Sorts a large batch of random vectors through K / L / bitonic networks
 // four ways: per-gate interpreter (apply_comparators, one vector at a
 // time), compiled plan scalar, compiled plan SoA batch, and the SoA batch
-// sharded over the shared ThreadPool. The headline number is vectors/sec;
-// the acceptance bar for the engine is >= 3x interpreter throughput for the
+// sharded over the pool. The headline number is vectors/sec; the
+// acceptance bar for the engine is >= 3x interpreter throughput for the
 // single-threaded SoA batch on a width >= 24 network.
+//
+// The backend tiers are measured through tune::ExperimentManager — the
+// same declarative sweep `scnet_cli tune` runs — with one cell per
+// (network, backend): each cell gets a fresh private Runtime, a time
+// guard and best-of-reps timing. Only the interpreter row is measured
+// locally (it is not an engine backend). The sweep runs with
+// parallelism 1: rows feed an acceptance gate, so no sibling cell may
+// perturb a measurement.
 //
 // Besides the google-benchmark timings, the preamble emits
 // BENCH_engine.json — a machine-readable report of the measured
 // throughputs and speedups per network.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <functional>
-#include <random>
+#include <map>
+#include <string>
 
 #include "baseline/bitonic.h"
 #include "bench_common.h"
@@ -23,8 +30,8 @@
 #include "engine/batch_engine.h"
 #include "engine/execution_plan.h"
 #include "perf/thread_pool.h"
-#include "seq/generators.h"
 #include "sim/comparator_sim.h"
+#include "tune/experiment.h"
 
 namespace {
 
@@ -32,66 +39,91 @@ using namespace scn;
 
 constexpr std::size_t kBatch = 4096;
 
-std::vector<std::vector<Count>> make_inputs(std::size_t width,
-                                            std::size_t n) {
-  std::mt19937_64 rng(99);
-  std::vector<std::vector<Count>> inputs;
-  inputs.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    inputs.push_back(random_count_vector(rng, width, 1000));
-  }
-  return inputs;
-}
-
-double time_once(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-/// Best-of-3 wall time for `fn`, in seconds.
-double best_time(const std::function<void()>& fn) {
-  double best = time_once(fn);
-  for (int rep = 0; rep < 2; ++rep) best = std::min(best, time_once(fn));
-  return best;
+/// The backend tiers one sweep covers; the interpreter is measured apart.
+const tune::ExperimentConfig& sweep_config() {
+  static const tune::ExperimentConfig config = [] {
+    tune::ExperimentConfig c;
+    c.name = "engine_batch";
+    c.axes.networks = {
+        tune::NetworkSpec::member(NetworkKind::kK, {4, 4, 4}),
+        tune::NetworkSpec::member(NetworkKind::kK, {2, 3, 4}),
+        tune::NetworkSpec::member(NetworkKind::kL, {4, 4, 4}),
+        tune::NetworkSpec::named(
+            "bitonic32", [](Runtime&) { return make_bitonic_network(5); }),
+    };
+    c.axes.pass_levels = {PassLevel::kNone};  // measure the raw networks
+    c.axes.backends = {EngineBackend::kScalar, EngineBackend::kBatch,
+                       EngineBackend::kThreaded};
+    c.axes.batch_sizes = {kBatch};
+    c.reps = 3;
+    c.max_cell_seconds = 5.0;  // roomy: rows feed the acceptance gate
+    c.parallelism = 1;
+    return c;
+  }();
+  return config;
 }
 
 struct Measurement {
-  const char* network;
-  std::size_t width;
-  std::uint32_t depth;
-  double interp_vps;    // vectors/sec, per-gate interpreter
-  double scalar_vps;    // plan, scalar tier
-  double batch_vps;     // plan, SoA batch tier
-  double threaded_vps;  // plan, SoA batch over the shared pool
+  std::string network;
+  std::size_t width = 0;
+  std::uint32_t depth = 0;
+  double interp_vps = 0;    // vectors/sec, per-gate interpreter
+  double scalar_vps = 0;    // plan, scalar tier
+  double batch_vps = 0;     // plan, SoA batch tier
+  double threaded_vps = 0;  // plan, SoA batch over the pool
 };
 
-Measurement measure(const char* name, const Network& net) {
-  const ExecutionPlan plan = compile_plan(net);
-  const auto inputs = make_inputs(net.width(), kBatch);
-  const auto n = static_cast<double>(kBatch);
+std::vector<Measurement> measure_all() {
+  tune::ExperimentManager manager(sweep_config());
+  const std::vector<tune::CellResult> results = manager.run();
 
-  const double t_interp = best_time([&] {
-    for (const auto& in : inputs) {
-      benchmark::DoNotOptimize(comparator_output_counts(net, in));
+  // One Measurement per network, in axes order; cells fill the tier
+  // columns, the interpreter column is measured here (best-of-3, same
+  // rep discipline via bench::best_time).
+  std::vector<Measurement> ms;
+  std::map<std::string, std::size_t> index;
+  for (const tune::CellResult& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "cell %s failed: %s\n", r.cell.label().c_str(),
+                   r.error.c_str());
+      continue;
     }
-  });
-  const double t_scalar = best_time([&] {
-    for (const auto& in : inputs) {
-      benchmark::DoNotOptimize(plan_comparator_output(plan, in));
+    const std::string& name = r.cell.network.name;
+    if (index.find(name) == index.end()) {
+      index[name] = ms.size();
+      Measurement m;
+      m.network = name;
+      m.width = r.width;
+      m.depth = r.depth;
+      ms.push_back(std::move(m));
     }
-  });
-  const double t_batch =
-      best_time([&] { benchmark::DoNotOptimize(plan_sort_batch(plan, inputs)); });
-  const double t_threaded = best_time([&] {
-    benchmark::DoNotOptimize(
-        plan_sort_batch(plan, inputs, &ThreadPool::shared()));
-  });
-
-  return Measurement{name,         net.width(),   net.depth(),
-                     n / t_interp, n / t_scalar,  n / t_batch,
-                     n / t_threaded};
+    Measurement& m = ms[index[name]];
+    switch (r.cell.backend) {
+      case EngineBackend::kScalar: m.scalar_vps = r.vectors_per_sec; break;
+      case EngineBackend::kBatch: m.batch_vps = r.vectors_per_sec; break;
+      case EngineBackend::kThreaded:
+        m.threaded_vps = r.vectors_per_sec;
+        break;
+      default: break;
+    }
+  }
+  for (const tune::NetworkSpec& spec : sweep_config().axes.networks) {
+    Runtime rt;
+    const Network net =
+        spec.is_family()
+            ? (spec.kind == NetworkKind::kK
+                   ? make_k_network(spec.factors, rt)
+                   : make_l_network(spec.factors, rt))
+            : spec.build(rt);
+    const auto inputs = bench::random_inputs(net.width(), kBatch, 99);
+    const double t = bench::best_time([&] {
+      for (const auto& in : inputs) {
+        benchmark::DoNotOptimize(comparator_output_counts(net, in));
+      }
+    });
+    ms[index[spec.name]].interp_vps = static_cast<double>(kBatch) / t;
+  }
+  return ms;
 }
 
 void emit_report(const std::vector<Measurement>& ms) {
@@ -109,8 +141,9 @@ void emit_report(const std::vector<Measurement>& ms) {
     const bool pass = speedup >= 3.0;
     all_pass = all_pass && pass;
     std::printf("%-14s %5zu %5u %12.0f %12.0f %12.0f %12.0f %7.2fx %s\n",
-                m.network, m.width, m.depth, m.interp_vps, m.scalar_vps,
-                m.batch_vps, m.threaded_vps, speedup, bench::mark(pass));
+                m.network.c_str(), m.width, m.depth, m.interp_vps,
+                m.scalar_vps, m.batch_vps, m.threaded_vps, speedup,
+                bench::mark(pass));
     report.begin_row();
     report.kv("network", m.network);
     report.kv("width", static_cast<std::uint64_t>(m.width));
@@ -130,7 +163,7 @@ void emit_report(const std::vector<Measurement>& ms) {
 template <typename Runner>
 void batch_bench(benchmark::State& state, const Network& net, Runner run) {
   const ExecutionPlan plan = compile_plan(net);
-  const auto inputs = make_inputs(net.width(), kBatch);
+  const auto inputs = bench::random_inputs(net.width(), kBatch, 99);
   for (auto _ : state) {
     benchmark::DoNotOptimize(run(net, plan, inputs));
   }
@@ -199,12 +232,7 @@ BENCHMARK(BM_PlanCountBatchK64)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<Measurement> ms;
-  ms.push_back(measure("K(4x4x4)", make_k_network({4, 4, 4})));
-  ms.push_back(measure("K(2x3x4)", make_k_network({2, 3, 4})));
-  ms.push_back(measure("L(4x4x4)", make_l_network({4, 4, 4})));
-  ms.push_back(measure("bitonic32", make_bitonic_network(5)));
-  emit_report(ms);
+  emit_report(measure_all());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

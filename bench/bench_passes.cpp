@@ -39,29 +39,7 @@ using namespace scn;
 
 constexpr std::size_t kBatch = 512;
 
-std::vector<std::vector<Count>> make_inputs(std::size_t width,
-                                            std::size_t n) {
-  std::mt19937_64 rng(1234);
-  std::vector<std::vector<Count>> inputs;
-  inputs.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    inputs.push_back(random_count_vector(rng, width, 1000));
-  }
-  return inputs;
-}
-
-double time_once(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-double best_time(const std::function<void()>& fn, int reps = 3) {
-  double best = time_once(fn);
-  for (int rep = 1; rep < reps; ++rep) best = std::min(best, time_once(fn));
-  return best;
-}
+using bench::best_time;
 
 struct Measurement {
   const char* network;
@@ -108,7 +86,7 @@ Measurement measure(const char* name, const Network& net) {
                     }) /
                     kLookups;
 
-  const auto inputs = make_inputs(net.width(), kBatch);
+  const auto inputs = bench::random_inputs(net.width(), kBatch, 1234);
   const auto n = static_cast<double>(kBatch);
   PlanCache e2e_cache(8);
   const double t_miss = best_time([&] {
@@ -138,14 +116,9 @@ void emit_report(const std::vector<Measurement>& ms) {
               "network", "w", "gates", "d", "g:dflt", "d", "g:aggr", "d",
               "miss (us)", "hit (us)", "e2e x");
   bench::print_row_rule();
-  FILE* json = std::fopen("BENCH_passes.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"experiment\": \"pass_pipeline\",\n");
-    std::fprintf(json, "  \"batch_size\": %zu,\n  \"results\": [\n", kBatch);
-  }
+  bench::JsonReport report("BENCH_passes.json", "pass_pipeline");
   bool all_pass = true;
-  for (std::size_t i = 0; i < ms.size(); ++i) {
-    const Measurement& m = ms[i];
+  for (const Measurement& m : ms) {
     const bool pass = depth_ok(m);
     all_pass = all_pass && pass;
     const double cache_speedup = m.compile_miss_s / m.compile_hit_s;
@@ -155,32 +128,32 @@ void emit_report(const std::vector<Measurement>& ms) {
         m.network, m.width, m.gates, m.depth, m.gates_default, m.depth_default,
         m.gates_aggressive, m.depth_aggressive, m.compile_miss_s * 1e6,
         m.compile_hit_s * 1e6, e2e_speedup, bench::mark(pass));
-    if (json != nullptr) {
-      std::fprintf(
-          json,
-          "    {\"network\": \"%s\", \"width\": %zu, "
-          "\"gates\": %zu, \"depth\": %u, "
-          "\"default\": {\"gates\": %zu, \"depth\": %u, "
-          "\"gates_removed\": %zu, \"layers_removed\": %u}, "
-          "\"aggressive\": {\"gates\": %zu, \"depth\": %u}, "
-          "\"compile_miss_us\": %.2f, \"compile_hit_us\": %.4f, "
-          "\"cache_compile_speedup\": %.1f, "
-          "\"e2e_miss_vps\": %.0f, \"e2e_hit_vps\": %.0f, "
-          "\"e2e_cached_speedup\": %.3f, \"depth_ok\": %s}%s\n",
-          m.network, m.width, m.gates, m.depth, m.gates_default,
-          m.depth_default, m.gates - m.gates_default,
-          m.depth - m.depth_default, m.gates_aggressive, m.depth_aggressive,
-          m.compile_miss_s * 1e6, m.compile_hit_s * 1e6, cache_speedup,
-          m.e2e_miss_vps, m.e2e_hit_vps, e2e_speedup, pass ? "true" : "false",
-          i + 1 < ms.size() ? "," : "");
-    }
+    report.begin_row();
+    report.kv("network", m.network);
+    report.kv("width", static_cast<std::uint64_t>(m.width));
+    report.kv("gates", static_cast<std::uint64_t>(m.gates));
+    report.kv("depth", static_cast<std::uint64_t>(m.depth));
+    report.kv("batch_size", static_cast<std::uint64_t>(kBatch));
+    report.kv("default_gates", static_cast<std::uint64_t>(m.gates_default));
+    report.kv("default_depth", static_cast<std::uint64_t>(m.depth_default));
+    report.kv("gates_removed",
+              static_cast<std::uint64_t>(m.gates - m.gates_default));
+    report.kv("layers_removed",
+              static_cast<std::uint64_t>(m.depth - m.depth_default));
+    report.kv("aggressive_gates",
+              static_cast<std::uint64_t>(m.gates_aggressive));
+    report.kv("aggressive_depth",
+              static_cast<std::uint64_t>(m.depth_aggressive));
+    report.kv("compile_miss_us", m.compile_miss_s * 1e6);
+    report.kv("compile_hit_us", m.compile_hit_s * 1e6);
+    report.kv("cache_compile_speedup", cache_speedup);
+    report.kv("e2e_miss_vps", m.e2e_miss_vps);
+    report.kv("e2e_hit_vps", m.e2e_hit_vps);
+    report.kv("e2e_cached_speedup", e2e_speedup);
+    report.kv("depth_ok", pass);
+    report.end_row();
   }
-  if (json != nullptr) {
-    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
-                 all_pass ? "true" : "false");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_passes.json\n");
-  }
+  report.finish(all_pass);
   std::printf("\n");
 }
 

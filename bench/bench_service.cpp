@@ -183,7 +183,7 @@ int emit_report(const Curves& curves) {
     }
     return 0.0;
   };
-  const bool parallel_host = std::thread::hardware_concurrency() > 1;
+  const bool parallel_host = !bench::single_core_host();
   const double sharded4 = tps_of("sharded4xK(2^4)");
   const double single64 = tps_of("single-w64");
   const double mutex_tps = tps_of("mutex");

@@ -13,6 +13,12 @@
 //     and batch should be near-identical — measured as a sanity check,
 //     never gated.
 //
+// The sweep itself is a tune::ExperimentManager config — the declarative
+// cross product (networks x backends x batch sizes) that `scnet_cli tune`
+// also runs — executed with parallelism 1 because the rows feed an
+// acceptance gate. Each cell gets a fresh private Runtime and best-of-reps
+// timing under a time guard.
+//
 // Acceptance gate (exit 1 on failure): on every width-2-dominated network,
 // the simd backend's best throughput across batch sizes is at least that
 // of the batch backend (within a small tolerance for timer noise). The
@@ -26,9 +32,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
-#include <functional>
-#include <random>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "baseline/batcher.h"
@@ -40,7 +45,7 @@
 #include "engine/execution_plan.h"
 #include "engine/simd_kernels.h"
 #include "runtime/runtime.h"
-#include "seq/generators.h"
+#include "tune/experiment.h"
 
 namespace {
 
@@ -48,60 +53,47 @@ using namespace scn;
 
 constexpr std::size_t kBatchSizes[] = {64, 256, 1024, 4096};
 
-std::vector<std::vector<Count>> make_inputs(std::size_t width,
-                                            std::size_t n) {
-  std::mt19937_64 rng(2024);
-  std::vector<std::vector<Count>> inputs;
-  inputs.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    inputs.push_back(random_count_vector(rng, width, 1000));
-  }
-  return inputs;
-}
-
-double best_time(const std::function<void()>& fn) {
-  double best = 1e100;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
-  }
-  return best;
-}
-
-struct Sweep {
-  const char* network;
-  std::size_t batch_size;
-  double width2_fraction;
-  double vps[4];  // indexed like engine::registered_backends()
+/// Networks under test; `gated` marks the width-2-dominated regime the
+/// acceptance gate covers.
+struct NetUnderTest {
+  tune::NetworkSpec spec;
+  bool width2_dominated;
 };
 
-Sweep sweep(const char* name, const ExecutionPlan& plan, Runtime& rt,
-            std::size_t batch_size) {
-  const auto inputs = make_inputs(plan.width(), batch_size);
-  Sweep s{name, batch_size, engine::plan_shape(plan).width2_fraction(), {}};
-  const auto all = engine::registered_backends();
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    const double t = best_time([&] {
-      benchmark::DoNotOptimize(engine::sort_batch(plan, inputs, rt, all[i]));
-    });
-    s.vps[i] = static_cast<double>(batch_size) / t;
-  }
-  return s;
+std::vector<NetUnderTest> nets_under_test() {
+  std::vector<NetUnderTest> nets;
+  nets.push_back({tune::NetworkSpec::named(
+                      "bitonic32",
+                      [](Runtime&) { return make_bitonic_network(5); }),
+                  true});
+  nets.push_back({tune::NetworkSpec::named(
+                      "batcher24",
+                      [](Runtime&) { return make_batcher_network(24); }),
+                  true});
+  nets.push_back(
+      {tune::NetworkSpec::member(NetworkKind::kK, {4, 4, 4}), false});
+  return nets;
 }
 
-// Index of a backend in registered_backends() order.
-std::size_t slot(EngineBackend b) {
-  const auto all = engine::registered_backends();
-  return static_cast<std::size_t>(
-      std::find(all.begin(), all.end(), b) - all.begin());
+tune::ExperimentConfig sweep_config() {
+  tune::ExperimentConfig c;
+  c.name = "simd_backends";
+  for (const NetUnderTest& n : nets_under_test()) {
+    c.axes.networks.push_back(n.spec);
+  }
+  c.axes.pass_levels = {PassLevel::kNone};
+  c.axes.backends = {};  // every registered backend
+  c.axes.batch_sizes.assign(std::begin(kBatchSizes), std::end(kBatchSizes));
+  c.reps = 3;
+  c.max_cell_seconds = 5.0;
+  c.parallelism = 1;  // rows feed the acceptance gate
+  return c;
 }
 
 void backend_bench(benchmark::State& state, EngineBackend b) {
   static const Network net = make_bitonic_network(5);
   const ExecutionPlan plan = compile_plan(net);
-  const auto inputs = make_inputs(net.width(), 4096);
+  const auto inputs = bench::random_inputs(net.width(), 4096, 2024);
   Runtime rt;
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine::sort_batch(plan, inputs, rt, b));
@@ -136,46 +128,58 @@ int main(int argc, char** argv) {
                 "the gate is off.\n");
   }
 
-  struct Net {
-    const char* name;
-    Network net;
-    bool width2_dominated;
-  };
-  std::vector<Net> nets;
-  nets.push_back({"bitonic32", make_bitonic_network(5), true});
-  nets.push_back({"batcher24", make_batcher_network(24), true});
-  nets.push_back({"K(4x4x4)", make_k_network({4, 4, 4}), false});
+  tune::ExperimentManager manager(sweep_config());
+  const std::vector<tune::CellResult> results = manager.run();
 
-  Runtime rt;
+  // Regroup the flat cell list into (network, batch_size) rows with one
+  // throughput column per backend.
+  struct Row {
+    double width2_fraction = 0.0;
+    std::map<EngineBackend, double> vps;
+  };
+  std::map<std::string, std::map<std::size_t, Row>> rows;
+  for (const tune::CellResult& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "cell %s failed: %s\n", r.cell.label().c_str(),
+                   r.error.c_str());
+      continue;
+    }
+    Row& row = rows[r.cell.network.name][r.cell.lanes];
+    row.width2_fraction = r.width2_fraction;
+    row.vps[r.cell.backend] = r.vectors_per_sec;
+  }
+
   std::printf("%-11s %6s %6s %12s %12s %12s %12s %8s\n", "network", "B",
               "w2frac", "scalar v/s", "batch v/s", "simd v/s",
               "threaded v/s", "simd/x");
   bench::print_row_rule();
 
   bench::JsonReport report("BENCH_simd.json", "simd_backends");
-  const std::size_t sc = slot(EngineBackend::kScalar);
-  const std::size_t ba = slot(EngineBackend::kBatch);
-  const std::size_t si = slot(EngineBackend::kSimd);
-  const std::size_t th = slot(EngineBackend::kThreaded);
   bool all_pass = true;
-  for (const Net& n : nets) {
-    const ExecutionPlan plan = compile_plan(n.net);
+  for (const NetUnderTest& n : nets_under_test()) {
     double best_ratio = 0.0;
     for (const std::size_t batch_size : kBatchSizes) {
-      const Sweep s = sweep(n.name, plan, rt, batch_size);
-      const double ratio = s.vps[si] / s.vps[ba];
+      const Row& row = rows[n.spec.name][batch_size];
+      const auto vps = [&](EngineBackend b) {
+        const auto it = row.vps.find(b);
+        return it == row.vps.end() ? 0.0 : it->second;
+      };
+      const double batch_vps = vps(EngineBackend::kBatch);
+      const double simd_vps = vps(EngineBackend::kSimd);
+      const double ratio = batch_vps > 0 ? simd_vps / batch_vps : 0.0;
       best_ratio = std::max(best_ratio, ratio);
       std::printf("%-11s %6zu %6.2f %12.0f %12.0f %12.0f %12.0f %7.2fx\n",
-                  s.network, s.batch_size, s.width2_fraction, s.vps[sc],
-                  s.vps[ba], s.vps[si], s.vps[th], ratio);
+                  n.spec.name.c_str(), batch_size, row.width2_fraction,
+                  vps(EngineBackend::kScalar), batch_vps, simd_vps,
+                  vps(EngineBackend::kThreaded), ratio);
       report.begin_row();
-      report.kv("network", s.network);
-      report.kv("batch_size", static_cast<std::uint64_t>(s.batch_size));
-      report.kv("width2_fraction", s.width2_fraction);
-      report.kv("scalar_vps", s.vps[sc]);
-      report.kv("batch_vps", s.vps[ba]);
-      report.kv("simd_vps", s.vps[si]);
-      report.kv("threaded_vps", s.vps[th]);
+      report.kv("network", n.spec.name);
+      report.kv("batch_size", static_cast<std::uint64_t>(batch_size));
+      report.kv("width2_fraction", row.width2_fraction);
+      report.kv("scalar_vps", vps(EngineBackend::kScalar));
+      report.kv("batch_vps", batch_vps);
+      report.kv("simd_vps", simd_vps);
+      report.kv("threaded_vps", vps(EngineBackend::kThreaded));
       report.kv("simd_over_batch", ratio);
       report.kv("gated", gated && n.width2_dominated);
       report.end_row();
@@ -187,8 +191,8 @@ int main(int argc, char** argv) {
       // tolerance absorbs timer noise on shared CI runners.
       const bool pass = !gated || best_ratio >= 0.95;
       all_pass = all_pass && pass;
-      std::printf("%-11s best simd/batch %.2fx %s\n", n.name, best_ratio,
-                  gated ? bench::mark(pass) : "(info)");
+      std::printf("%-11s best simd/batch %.2fx %s\n", n.spec.name.c_str(),
+                  best_ratio, gated ? bench::mark(pass) : "(info)");
     }
     bench::print_row_rule();
   }

@@ -2,9 +2,13 @@
 // Batcher, bitonic) against std::sort. Comparator networks trade work for
 // depth; on one core std::sort wins, but the network's layer structure is
 // the parallel-time story the constructions target.
+//
+// The preamble emits BENCH_sorting.json (one row per construction, with a
+// sorts-correctly check on a random permutation as the pass flag).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <functional>
 #include <random>
 
 #include "baseline/batcher.h"
@@ -27,18 +31,40 @@ void print_table() {
   const Network l = make_l_network({4, 4, 4});
   const Network batcher = make_batcher_network(64);
   const Network bitonic = make_bitonic_network(6);
-  std::printf("%-12s %7s %7s %9s %9s\n", "network", "depth", "gates",
-              "maxgate", "endpoints");
+  std::printf("%-12s %7s %7s %9s %9s %6s\n", "network", "depth", "gates",
+              "maxgate", "endpoints", "sorts");
   bench::print_row_rule();
+  bench::JsonReport report("BENCH_sorting.json", "sorting_inventory");
+  bool all_pass = true;
+  std::mt19937_64 rng(7);
   for (const auto& [name, net] :
        {std::pair<const char*, const Network*>{"K(4x4x4)", &k},
         {"L(4x4x4)", &l},
         {"batcher64", &batcher},
         {"bitonic64", &bitonic}}) {
-    std::printf("%-12s %7u %7zu %9u %9zu\n", name, net->depth(),
+    // Comparator networks emit max-first: PASS when a random permutation
+    // comes out non-increasing.
+    const auto out =
+        comparator_output_counts(*net, random_permutation(rng, net->width()));
+    const bool sorts =
+        std::is_sorted(out.begin(), out.end(), std::greater<>());
+    all_pass = all_pass && sorts;
+    std::printf("%-12s %7u %7zu %9u %9zu %6s\n", name, net->depth(),
                 net->gate_count(), net->max_gate_width(),
-                net->wire_endpoint_count());
+                net->wire_endpoint_count(), bench::mark(sorts));
+    report.begin_row();
+    report.kv("network", name);
+    report.kv("width", static_cast<std::uint64_t>(net->width()));
+    report.kv("depth", static_cast<std::uint64_t>(net->depth()));
+    report.kv("gates", static_cast<std::uint64_t>(net->gate_count()));
+    report.kv("max_gate_width",
+              static_cast<std::uint64_t>(net->max_gate_width()));
+    report.kv("wire_endpoints",
+              static_cast<std::uint64_t>(net->wire_endpoint_count()));
+    report.kv("sorts", sorts);
+    report.end_row();
   }
+  report.finish(all_pass);
   std::printf("\n");
 }
 

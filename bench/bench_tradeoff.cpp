@@ -23,18 +23,44 @@ void print_table() {
       "E7  Family trade-off at fixed width w = 64",
       "one network per factorization: small n => shallow + wide balancers, "
       "large n => deep + narrow balancers");
-  std::printf("%-22s %3s %7s %9s %7s %10s\n", "member", "n", "depth",
-              "maxgate", "gates", "endpoints");
+  std::printf("%-22s %3s %7s %9s %7s %10s %6s\n", "member", "n", "depth",
+              "maxgate", "gates", "endpoints", "bound");
   bench::print_row_rule();
+  bench::JsonReport report("BENCH_tradeoff.json", "family_tradeoff");
+  bool all_pass = true;
   for (const NetworkKind kind : {NetworkKind::kK, NetworkKind::kL}) {
     for (const auto& m : enumerate_family(kWidth, kind)) {
-      std::printf("%-22s %3zu %7u %9u %7zu %10zu\n", m.label().c_str(),
+      // The paper's balancer-width bounds: K stays within max(p_i p_j), L
+      // within max(2, max p_i).
+      const std::size_t bound =
+          kind == NetworkKind::kK
+              ? max_pair_product(m.factors)
+              : std::max<std::size_t>(2, max_factor(m.factors));
+      const bool ok = m.network.max_gate_width() <= bound;
+      all_pass = all_pass && ok;
+      std::printf("%-22s %3zu %7u %9u %7zu %10zu %6s\n", m.label().c_str(),
                   m.factors.size(), m.network.depth(),
                   m.network.max_gate_width(), m.network.gate_count(),
-                  m.network.wire_endpoint_count());
+                  m.network.wire_endpoint_count(), bench::mark(ok));
+      report.begin_row();
+      report.kv("member", m.label());
+      report.kv("kind", to_string(kind));
+      report.kv("factor_count",
+                static_cast<std::uint64_t>(m.factors.size()));
+      report.kv("depth", static_cast<std::uint64_t>(m.network.depth()));
+      report.kv("max_gate_width",
+                static_cast<std::uint64_t>(m.network.max_gate_width()));
+      report.kv("gates",
+                static_cast<std::uint64_t>(m.network.gate_count()));
+      report.kv("wire_endpoints",
+                static_cast<std::uint64_t>(m.network.wire_endpoint_count()));
+      report.kv("balancer_bound", static_cast<std::uint64_t>(bound));
+      report.kv("within_bound", ok);
+      report.end_row();
     }
     bench::print_row_rule();
   }
+  report.finish(all_pass);
   std::printf("\n");
 }
 

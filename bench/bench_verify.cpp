@@ -1,6 +1,9 @@
 // Verifier engineering: scalar vs bit-sliced exhaustive 0-1 checks and
 // sequential vs parallel counting sweeps. The bit-sliced path is what makes
 // the mega-sweep tests affordable.
+//
+// The preamble emits BENCH_verify.json: one row per verifier pair with
+// the inputs-checked counts and verdict-agreement flags.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -17,14 +20,44 @@ void print_table() {
   bench::print_header("Verifier engineering",
                       "bit-sliced 0-1 evaluation processes 64 inputs per "
                       "word pass (~64x scalar)");
+  bench::JsonReport report("BENCH_verify.json", "verifier_engineering");
+
   const Network net = make_k_network({2, 3, 2});
   const auto slow = verify_sorting_exhaustive(net);
   const auto fast = fast_verify_sorting_exhaustive(net);
+  const bool zero_one_agree = slow.ok == fast.ok;
   std::printf("width 12: scalar checked %llu, bit-sliced checked %llu, "
-              "verdicts agree: %s\n\n",
+              "verdicts agree: %s\n",
               static_cast<unsigned long long>(slow.inputs_checked),
               static_cast<unsigned long long>(fast.inputs_checked),
-              bench::mark(slow.ok == fast.ok));
+              bench::mark(zero_one_agree));
+  report.begin_row();
+  report.kv("pair", "scalar_vs_bitsliced_zero_one");
+  report.kv("width", static_cast<std::uint64_t>(net.width()));
+  report.kv("scalar_inputs_checked",
+            static_cast<std::uint64_t>(slow.inputs_checked));
+  report.kv("bitsliced_inputs_checked",
+            static_cast<std::uint64_t>(fast.inputs_checked));
+  report.kv("agree", zero_one_agree);
+  report.end_row();
+
+  const Network count_net = make_k_network({4, 4});
+  const bool seq_ok = verify_counting(count_net).ok;
+  ParallelVerifyOptions opts;
+  opts.threads = 2;
+  const bool par_ok = verify_counting_parallel(count_net, opts).ok;
+  const bool counting_agree = seq_ok == par_ok;
+  std::printf("width 16: sequential vs parallel counting verdicts agree: "
+              "%s\n\n",
+              bench::mark(counting_agree));
+  report.begin_row();
+  report.kv("pair", "sequential_vs_parallel_counting");
+  report.kv("width", static_cast<std::uint64_t>(count_net.width()));
+  report.kv("agree", counting_agree);
+  report.end_row();
+
+  report.finish(zero_one_agree && counting_agree);
+  std::printf("\n");
 }
 
 void BM_ScalarExhaustive(benchmark::State& state) {

@@ -20,6 +20,10 @@
 
 namespace scn {
 
+namespace tune {
+class MachineProfile;  // tune/profile.h — measured autotuning cells
+}  // namespace tune
+
 struct NetworkCost {
   std::size_t gates = 0;
   std::size_t endpoints = 0;  ///< sum of gate widths
@@ -160,5 +164,16 @@ inline constexpr double kSimdMinWidth2Fraction = 0.75;
 [[nodiscard]] EngineBackend select_backend(const PlanShape& shape,
                                            std::size_t lanes,
                                            const MachineCaps& caps);
+
+/// Profile-backed overload: measurements override the policy. When
+/// `profile` is non-null, its fingerprint matches `caps` (same build
+/// capabilities the cells were measured under), and it holds a cell for
+/// shape.width, the fastest measured cell nearest to `lanes` names the
+/// backend. A null, mismatched (stale hardware/build) or width-less
+/// profile falls back to the static policy above — so callers can pass
+/// whatever `MachineProfile::load()` returned without re-checking.
+[[nodiscard]] EngineBackend select_backend(
+    const PlanShape& shape, std::size_t lanes, const MachineCaps& caps,
+    const tune::MachineProfile* profile);
 
 }  // namespace scn

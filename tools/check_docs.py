@@ -12,6 +12,9 @@ Checks every Markdown file in the repository (skipping build trees) for:
      directories.
   2. relative Markdown links — ``[text](other.md)`` and
      ``[text](other.md#anchor)`` must point at an existing file.
+  3. docs-index completeness — every ``docs/*.md`` must be referenced
+     from the README's documentation table, so a new document cannot
+     land without an entry point.
 
 Exit status 0 when everything resolves, 1 with one line per dangling
 reference otherwise. Run from anywhere:
@@ -92,8 +95,21 @@ def strip_punctuation(ref: str) -> str:
     return ref.rstrip(".,;:")
 
 
+def check_docs_index(errors: list[str]) -> None:
+    """Every docs/*.md must be mentioned in README.md (the docs table)."""
+    readme = REPO / "README.md"
+    text = readme.read_text(encoding="utf-8")
+    for doc in sorted((REPO / "docs").glob("*.md")):
+        ref = doc.relative_to(REPO).as_posix()
+        if ref not in text:
+            errors.append(
+                f"README.md: docs index is missing an entry for {ref!r}"
+            )
+
+
 def main() -> int:
     errors: list[str] = []
+    check_docs_index(errors)
     for md in md_files():
         rel_md = md.relative_to(REPO)
         text = md.read_text(encoding="utf-8")
