@@ -4,15 +4,18 @@
 // widths 24-120, plus a deliberately redundant composed network):
 //
 //   1. What do the pipelines remove?  gates/layers before vs after the
-//      `default` and `aggressive` levels (comparator semantics).
+//      `default`, `aggressive`, and `optimal` levels (comparator
+//      semantics).
 //   2. What does the cache save at compile time?  pipeline + plan
 //      compilation on a cold cache (miss) vs a warm lookup (hit).
 //   3. What does that mean end to end?  vectors/sec for a 512-vector
 //      batch when every call re-optimizes vs when the plan is cached.
 //
 // The preamble emits BENCH_passes.json and the process exits non-zero if
-// the `default` pipeline ever INCREASES depth — CI runs this binary with
-// --benchmark_filter=^$ as a depth-regression gate.
+// the `default` pipeline ever INCREASES depth, or the `optimal` pipeline
+// ever exceeds `default` — CI runs this binary with --benchmark_filter=^$
+// as a depth-regression gate. (bench_depth_opt.cpp is the companion gate
+// proving the peephole's depth WINS; this one only guards against loss.)
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -50,6 +53,8 @@ struct Measurement {
   std::uint32_t depth_default;  // depth after the default pipeline
   std::size_t gates_aggressive;
   std::uint32_t depth_aggressive;
+  std::size_t gates_optimal;    // gate count after the optimal pipeline
+  std::uint32_t depth_optimal;  // depth after the optimal pipeline
   double compile_miss_s;  // optimize + compile, cold cache
   double compile_hit_s;   // warm cache lookup
   double e2e_miss_vps;    // batch sort, re-optimizing every call
@@ -69,6 +74,9 @@ Measurement measure(const char* name, const Network& net) {
   const PipelineResult aggr = optimize_network(net, PassLevel::kAggressive);
   m.gates_aggressive = aggr.network.gate_count();
   m.depth_aggressive = aggr.network.depth();
+  const PipelineResult opt = optimize_network(net, PassLevel::kOptimal);
+  m.gates_optimal = opt.network.gate_count();
+  m.depth_optimal = opt.network.depth();
 
   PlanCache cache(8);
   m.compile_miss_s = best_time([&] {
@@ -104,17 +112,21 @@ Measurement measure(const char* name, const Network& net) {
   return m;
 }
 
-/// True iff the default pipeline kept the depth bound (the regression CI
-/// gates on).
-bool depth_ok(const Measurement& m) { return m.depth_default <= m.depth; }
+/// True iff the depth-preserving pipelines kept their bounds (the
+/// regression CI gates on): default never above construction depth, and
+/// optimal (default + peephole-optimal) never above default.
+bool depth_ok(const Measurement& m) {
+  return m.depth_default <= m.depth && m.depth_optimal <= m.depth_default;
+}
 
 void emit_report(const std::vector<Measurement>& ms) {
   bench::print_header(
       "E-OPT  Pass pipeline + compiled-plan cache",
       "default pipeline never increases depth; cache removes recompilation");
-  std::printf("%-18s %5s %6s %4s | %6s %4s | %6s %4s | %10s %10s %8s\n",
-              "network", "w", "gates", "d", "g:dflt", "d", "g:aggr", "d",
-              "miss (us)", "hit (us)", "e2e x");
+  std::printf(
+      "%-18s %5s %6s %4s | %6s %4s | %6s %4s | %6s %4s | %10s %10s %8s\n",
+      "network", "w", "gates", "d", "g:dflt", "d", "g:aggr", "d", "g:opt",
+      "d", "miss (us)", "hit (us)", "e2e x");
   bench::print_row_rule();
   bench::JsonReport report("BENCH_passes.json", "pass_pipeline");
   bool all_pass = true;
@@ -124,10 +136,12 @@ void emit_report(const std::vector<Measurement>& ms) {
     const double cache_speedup = m.compile_miss_s / m.compile_hit_s;
     const double e2e_speedup = m.e2e_hit_vps / m.e2e_miss_vps;
     std::printf(
-        "%-18s %5zu %6zu %4u | %6zu %4u | %6zu %4u | %10.1f %10.3f %7.2fx %s\n",
+        "%-18s %5zu %6zu %4u | %6zu %4u | %6zu %4u | %6zu %4u | %10.1f "
+        "%10.3f %7.2fx %s\n",
         m.network, m.width, m.gates, m.depth, m.gates_default, m.depth_default,
-        m.gates_aggressive, m.depth_aggressive, m.compile_miss_s * 1e6,
-        m.compile_hit_s * 1e6, e2e_speedup, bench::mark(pass));
+        m.gates_aggressive, m.depth_aggressive, m.gates_optimal,
+        m.depth_optimal, m.compile_miss_s * 1e6, m.compile_hit_s * 1e6,
+        e2e_speedup, bench::mark(pass));
     report.begin_row();
     report.kv("network", m.network);
     report.kv("width", static_cast<std::uint64_t>(m.width));
@@ -144,6 +158,8 @@ void emit_report(const std::vector<Measurement>& ms) {
               static_cast<std::uint64_t>(m.gates_aggressive));
     report.kv("aggressive_depth",
               static_cast<std::uint64_t>(m.depth_aggressive));
+    report.kv("optimal_gates", static_cast<std::uint64_t>(m.gates_optimal));
+    report.kv("optimal_depth", static_cast<std::uint64_t>(m.depth_optimal));
     report.kv("compile_miss_us", m.compile_miss_s * 1e6);
     report.kv("compile_hit_us", m.compile_hit_s * 1e6);
     report.kv("cache_compile_speedup", cache_speedup);
@@ -234,8 +250,9 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const Measurement& m : ms) all_ok = all_ok && depth_ok(m);
   if (!all_ok) {
-    std::fprintf(stderr, "DEPTH REGRESSION: default pipeline increased "
-                         "depth on at least one network\n");
+    std::fprintf(stderr,
+                 "DEPTH REGRESSION: a depth-preserving pipeline (default or "
+                 "optimal) increased depth on at least one network\n");
     return 1;
   }
   benchmark::Initialize(&argc, argv);

@@ -109,11 +109,12 @@ int usage() {
                "  scnet_cli count <t0,t1,...> < net.scnet\n"
                "  scnet_cli sort [--engine={interp|plan|auto|scalar|batch|"
                "simd|threaded}] "
-               "[--passes={none|default|aggressive}] <v0,v1,...> < net.scnet\n"
+               "[--passes={none|default|aggressive|optimal}] "
+               "<v0,v1,...> < net.scnet\n"
                "  scnet_cli sort --engine=plan --batch <N> [--seed <s>] "
                "< net.scnet\n"
                "  scnet_cli optimize [--stats] "
-               "[--passes={none|default|aggressive}] "
+               "[--passes={none|default|aggressive|optimal}] "
                "[--semantics={comparator|balancer}] < net.scnet\n"
                "  scnet_cli saturate [--shards N] [--threads N] [--tokens N]"
                " [--schedule {uniform|bursty|skewed|adversarial}]"

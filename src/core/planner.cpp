@@ -7,6 +7,7 @@
 #include "core/factorization.h"
 #include "core/k_network.h"
 #include "core/l_network.h"
+#include "opt/optimal_lib.h"
 #include "perf/contention_model.h"
 #include "tune/profile.h"
 
@@ -73,6 +74,13 @@ std::vector<Plan> plan_candidates(const PlanRequirements& req) {
       } else {
         why << " [static cost model]";
       }
+      // Comparator-path consumers can do better than any construction at
+      // widths the optimality map covers: point them at the opt-in level.
+      if (const OptimalEntry* opt = optimal_sorter_entry(req.width);
+          opt != nullptr && opt->depth < plan.network.depth()) {
+        why << "; sorting-only: depth " << opt->depth
+            << " reachable via --passes=optimal (docs/optimal_networks.md)";
+      }
       plan.rationale = why.str();
       plans.push_back(std::move(plan));
     }
@@ -87,7 +95,12 @@ std::vector<Plan> plan_candidates(const PlanRequirements& req) {
     if (a.predicted_latency != b.predicted_latency) {
       return a.predicted_latency < b.predicted_latency;
     }
-    // Tie-break: fewer gates, then narrower balancers.
+    // Tie-break: shallower first (depth is the latency the contention
+    // model cannot see at T ~ 1), then fewer gates, then narrower
+    // balancers.
+    if (a.network.depth() != b.network.depth()) {
+      return a.network.depth() < b.network.depth();
+    }
     if (a.network.gate_count() != b.network.gate_count()) {
       return a.network.gate_count() < b.network.gate_count();
     }

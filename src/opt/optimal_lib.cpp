@@ -1,0 +1,188 @@
+#include "opt/optimal_lib.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "baseline/batcher.h"
+#include "core/module.h"
+
+namespace scn {
+namespace {
+
+using Comparator = std::pair<std::uint8_t, std::uint8_t>;  // ascending (i, j)
+using Layers = std::vector<std::vector<Comparator>>;
+
+/// Published depth-optimal networks for n = 2..10, written in the
+/// literature's ascending-comparator layer form. Depths 1, 3, 3, 5, 5, 6,
+/// 6, 7, 7 match the proven optima (Bundala-Zavodny; n <= 8 classic /
+/// Knuth); tests/optimal_lib_test.cpp re-proves every one exhaustively by
+/// the 0-1 principle, so an encoding slip cannot survive CI.
+Layers primitive_layers(std::size_t n) {
+  switch (n) {
+    case 2:
+      return {{{0, 1}}};
+    case 3:
+      return {{{0, 2}}, {{0, 1}}, {{1, 2}}};
+    case 4:
+      return {{{0, 1}, {2, 3}}, {{0, 2}, {1, 3}}, {{1, 2}}};
+    case 5:
+      return {{{0, 3}, {1, 4}},
+              {{0, 2}, {1, 3}},
+              {{0, 1}, {2, 4}},
+              {{1, 2}, {3, 4}},
+              {{2, 3}}};
+    case 6:
+      return {{{0, 5}, {1, 3}, {2, 4}},
+              {{1, 2}, {3, 4}},
+              {{0, 3}, {2, 5}},
+              {{0, 1}, {2, 3}, {4, 5}},
+              {{1, 2}, {3, 4}}};
+    case 7:
+      return {{{0, 6}, {2, 3}, {4, 5}},
+              {{0, 2}, {1, 4}, {3, 6}},
+              {{0, 1}, {2, 5}, {3, 4}},
+              {{1, 2}, {4, 6}},
+              {{2, 3}, {4, 5}},
+              {{1, 2}, {3, 4}, {5, 6}}};
+    case 8:
+      return {{{0, 2}, {1, 3}, {4, 6}, {5, 7}},
+              {{0, 4}, {1, 5}, {2, 6}, {3, 7}},
+              {{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+              {{2, 4}, {3, 5}},
+              {{1, 4}, {3, 6}},
+              {{1, 2}, {3, 4}, {5, 6}}};
+    case 9:
+      return {{{0, 3}, {1, 7}, {2, 5}, {4, 8}},
+              {{0, 7}, {2, 4}, {3, 8}, {5, 6}},
+              {{0, 2}, {1, 3}, {4, 5}, {7, 8}},
+              {{1, 4}, {3, 6}, {5, 7}},
+              {{0, 1}, {2, 4}, {3, 5}, {6, 8}},
+              {{2, 3}, {4, 5}, {6, 7}},
+              {{1, 2}, {3, 4}, {5, 6}}};
+    case 10:
+      return {{{0, 1}, {2, 5}, {3, 6}, {4, 7}, {8, 9}},
+              {{0, 6}, {1, 8}, {2, 4}, {3, 9}, {5, 7}},
+              {{0, 2}, {1, 3}, {4, 5}, {6, 8}, {7, 9}},
+              {{0, 1}, {2, 7}, {3, 5}, {4, 6}, {8, 9}},
+              {{1, 2}, {3, 4}, {5, 6}, {7, 8}},
+              {{1, 3}, {2, 4}, {5, 7}, {6, 8}},
+              {{2, 3}, {4, 5}, {6, 7}}};
+    default:
+      return {};
+  }
+}
+
+constexpr std::size_t kLargestPrimitive = 10;
+
+const char* const kSourceClassic =
+    "optimal network: classic (Knuth TAOCP 5.3.4); optimality: Parberry / "
+    "Bundala-Zavodny";
+const char* const kSourceBZ =
+    "optimal network: best-known construction (Knuth TAOCP 5.3.4 lineage); "
+    "optimality: Bundala-Zavodny 2014";
+const char* const kSourceMerge =
+    "merge composition: optimal halves + Batcher odd-even merge; optimum "
+    "per Bundala-Zavodny 2014";
+const char* const kSourceMergeLarge =
+    "merge composition: optimal halves + Batcher odd-even merge; lower "
+    "bound carried over from n=16 (Bundala-Zavodny 2014)";
+
+/// The optimality map. `depth` values are pinned against the built
+/// templates by tests/optimal_lib_test.cpp; `lower_bound` is the proven
+/// optimum for n <= 16 and the n = 16 optimum (monotonicity) beyond.
+constexpr OptimalEntry kTable[] = {
+    {2, 1, 1, true, kSourceClassic},
+    {3, 3, 3, true, kSourceClassic},
+    {4, 3, 3, true, kSourceClassic},
+    {5, 5, 5, true, kSourceClassic},
+    {6, 5, 5, true, kSourceClassic},
+    {7, 6, 6, true, kSourceClassic},
+    {8, 6, 6, true, kSourceClassic},
+    {9, 7, 7, true, kSourceBZ},
+    {10, 7, 7, true, kSourceBZ},
+    {11, 9, 8, false, kSourceMerge},
+    {12, 9, 8, false, kSourceMerge},
+    {13, 10, 9, false, kSourceMerge},
+    {14, 10, 9, false, kSourceMerge},
+    {15, 10, 9, false, kSourceMerge},
+    {16, 10, 9, false, kSourceMerge},
+    {18, 11, 9, false, kSourceMergeLarge},
+    {20, 11, 9, false, kSourceMergeLarge},
+    {24, 14, 9, false, kSourceMergeLarge},
+};
+
+/// Emits the sorter for `wires` imperatively into `builder`: primitive
+/// widths unroll their comparator layers (ascending (i, j) becomes the
+/// max-first gate {j, i}); composed widths sort two halves recursively and
+/// odd-even-merge them. Returns the descending logical output order.
+std::vector<Wire> build_optimal_cold(NetworkBuilder& builder,
+                                     std::span<const Wire> wires) {
+  const std::size_t n = wires.size();
+  if (n <= kLargestPrimitive) {
+    for (const auto& layer : primitive_layers(n)) {
+      for (const auto& [lo, hi] : layer) {
+        builder.add_balancer({wires[hi], wires[lo]});
+      }
+    }
+    // Primitive layers leave wires[i] holding the i-th SMALLEST value;
+    // logical outputs are descending.
+    return {wires.rbegin(), wires.rend()};
+  }
+  // The split puts the larger half first; both halves finish by layer
+  // max(depth(h), depth(n - h)) and the odd-even merge adds
+  // ceil(log2(n)) layers.
+  const std::size_t h = (n + 1) / 2;
+  std::vector<Wire> lo = build_optimal_sorter(builder, wires.first(h));
+  std::vector<Wire> hi = build_optimal_sorter(builder, wires.subspan(h));
+  return build_odd_even_merge(builder, lo, hi);
+}
+
+}  // namespace
+
+std::span<const OptimalEntry> optimal_sorter_table() { return kTable; }
+
+const OptimalEntry* optimal_sorter_entry(std::size_t width) {
+  for (const OptimalEntry& e : kTable) {
+    if (e.width == width) return &e;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const Network> optimal_sorter_template(std::size_t width,
+                                                       ModuleCache& cache) {
+  assert(has_optimal_sorter(width));
+  const auto build = [&cache, width] {
+    NetworkBuilder b(width, &cache);
+    const std::vector<Wire> all = identity_order(width);
+    std::vector<Wire> out = build_optimal_cold(b, all);
+    return std::move(b).finish(std::move(out));
+  };
+  if (!cache.enabled()) {
+    return std::make_shared<const Network>(build());
+  }
+  return cache.intern(
+      ModuleKey{.kind = ModuleKind::kOptimalSorter, .params = {width}},
+      build);
+}
+
+std::vector<Wire> build_optimal_sorter(NetworkBuilder& builder,
+                                       std::span<const Wire> wires) {
+  assert(has_optimal_sorter(wires.size()));
+  ModuleCache& cache = module_cache_for(builder);
+  if (!cache.enabled()) {
+    return build_optimal_cold(builder, wires);
+  }
+  const auto tmpl = optimal_sorter_template(wires.size(), cache);
+  return builder.stamp(*tmpl, wires);
+}
+
+Network make_optimal_network(std::size_t width, Runtime& rt) {
+  NetworkBuilder builder(width, &rt.module_cache());
+  const std::vector<Wire> all = identity_order(width);
+  std::vector<Wire> out = build_optimal_sorter(builder, all);
+  return std::move(builder).finish(std::move(out));
+}
+
+}  // namespace scn

@@ -1,0 +1,98 @@
+// Depth-optimal base-case library: best-known small-width sorting networks
+// as first-class construction modules.
+//
+// The paper's C/K/L constructions bottom out in single balancers and R(p,q)
+// blocks, which leaves depth on the table at small widths where provably
+// depth-optimal sorting networks are known: Bundala & Zavodny ("Optimal
+// Sorting Networks", LATA 2014, arXiv:1310.6271) settled the optimal depths
+// for n <= 16, and Wang ("Depth-13 Sorting Networks for 28 Channels",
+// arXiv:2511.04107) holds the current 27/28-channel frontier. This library
+// ships a table of such networks encoded as comparator-layer data:
+//
+//   * n = 2..10  — published depth-optimal networks, hand-encoded layer by
+//     layer (depths 1, 3, 3, 5, 5, 6, 6, 7, 7 — each matching the proven
+//     optimum);
+//   * n = 11..16 — merge compositions (two optimal halves + a Batcher
+//     odd-even merge), one layer above the proven optimum; the gap per
+//     width is recorded honestly in the table and in
+//     docs/optimal_networks.md;
+//   * selected larger entries (18, 20, 24) — merge compositions shipped
+//     for direct construction use.
+//
+// Every entry is interned into the ModuleCache under ModuleKind::
+// kOptimalSorter (params {n}), so NetworkBuilder::stamp() splices it like
+// any other construction template, and the peephole-optimal pass
+// (opt/peephole.cpp) rewrites matching sub-blocks of arbitrary networks to
+// these templates. Exhaustive 0-1 verification of every entry is locked in
+// tests/optimal_lib_test.cpp.
+//
+// Encoding convention: the literature writes an ascending comparator (i, j)
+// (min to i, max to j, i < j); this repo's gate lists wires max-first and
+// its templates report logical outputs DESCENDING (net/network.h). A
+// comparator (i, j) therefore becomes the gate {j, i}, and a primitive
+// template's output order is the reversed identity [n-1, ..., 0] so logical
+// output 0 carries the largest element — exactly the step convention every
+// other construction uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+#include "runtime/runtime.h"
+
+namespace scn {
+
+class ModuleCache;
+
+/// One row of the optimality map (docs/optimal_networks.md renders the
+/// same table with per-width citations).
+struct OptimalEntry {
+  std::size_t width = 0;
+  /// Depth of the shipped template (pinned by tests/optimal_lib_test.cpp).
+  std::uint32_t depth = 0;
+  /// Proven depth lower bound at this width. Exact optimum for n <= 16
+  /// (Bundala-Zavodny); for the larger entries it is the n = 16 optimum
+  /// carried over (depth lower bounds are monotone in width).
+  std::uint32_t lower_bound = 0;
+  /// True when depth == the proven optimum (all hand-encoded entries).
+  bool depth_optimal = false;
+  /// Per-width source tag; the full citation lives in
+  /// docs/optimal_networks.md.
+  const char* source = "";
+};
+
+/// The full table, ascending by width (2..16 contiguous, then the larger
+/// merge-composed entries).
+[[nodiscard]] std::span<const OptimalEntry> optimal_sorter_table();
+
+/// The entry for `width`, or nullptr when the table has none.
+[[nodiscard]] const OptimalEntry* optimal_sorter_entry(std::size_t width);
+
+[[nodiscard]] inline bool has_optimal_sorter(std::size_t width) {
+  return optimal_sorter_entry(width) != nullptr;
+}
+
+/// The canonical-wire template for `width` (inputs on wires 0..width-1,
+/// logical outputs descending), interned into `cache` under
+/// ModuleKind::kOptimalSorter when interning is enabled, built fresh
+/// otherwise. Requires has_optimal_sorter(width).
+[[nodiscard]] std::shared_ptr<const Network> optimal_sorter_template(
+    std::size_t width, ModuleCache& cache);
+
+/// Splices the optimal sorter for wires.size() into `builder` over `wires`
+/// (stamped from the interned template, or built imperatively when the
+/// builder's cache is disabled). Returns the logical output order,
+/// descending. Requires has_optimal_sorter(wires.size()).
+[[nodiscard]] std::vector<Wire> build_optimal_sorter(
+    NetworkBuilder& builder, std::span<const Wire> wires);
+
+/// Standalone optimal sorter of `width` wires, identity input order,
+/// descending logical outputs. Templates intern into `rt`'s module cache.
+/// Requires has_optimal_sorter(width).
+[[nodiscard]] Network make_optimal_network(std::size_t width,
+                                           Runtime& rt = Runtime::shared());
+
+}  // namespace scn

@@ -29,6 +29,8 @@ const char* to_string(PassLevel level) {
       return "default";
     case PassLevel::kAggressive:
       return "aggressive";
+    case PassLevel::kOptimal:
+      return "optimal";
   }
   return "?";
 }
@@ -37,6 +39,7 @@ std::optional<PassLevel> parse_pass_level(std::string_view s) {
   if (s == "none") return PassLevel::kNone;
   if (s == "default") return PassLevel::kDefault;
   if (s == "aggressive") return PassLevel::kAggressive;
+  if (s == "optimal") return PassLevel::kOptimal;
   return std::nullopt;
 }
 
@@ -77,7 +80,10 @@ std::string PipelineResult::summary() const {
       continue;
     }
     out << "gates " << s.gates_before << "->" << s.gates_after << ", depth "
-        << s.depth_before << "->" << s.depth_after << "\n";
+        << s.depth_before << "->" << s.depth_after;
+    if (s.rewrites > 0) out << ", rewrites " << s.rewrites;
+    out << "\n";
+    out << s.detail;  // per-rewrite provenance lines, already terminated
   }
   return out.str();
 }
@@ -108,7 +114,7 @@ PipelineResult PassManager::run(const Network& net,
     }
     const std::uint64_t span_start_ns = obs::Tracer::shared().now_ns();
     const auto t0 = std::chrono::steady_clock::now();
-    Network rewritten = pass->run(result.network, opts);
+    Network rewritten = pass->run(result.network, opts, stats);
     const auto t1 = std::chrono::steady_clock::now();
     stats.applied = true;
     stats.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -152,6 +158,11 @@ PassManager make_pass_pipeline(PassLevel level) {
     // Expansion creates fresh CE pairs over partially ordered wires; a
     // second elimination round prunes the ones that can never fire.
     pm.add(make_expand_wide_gates_pass()).add(make_zero_one_elim_pass());
+  }
+  if (level == PassLevel::kOptimal) {
+    // Runs after elimination so rewrite candidates are dead-gate-free;
+    // never increases depth (docs/optimal_networks.md).
+    pm.add(make_peephole_optimal_pass());
   }
   pm.add(make_relayer_pass());
   return pm;

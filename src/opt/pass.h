@@ -45,13 +45,15 @@ enum class PassLevel : std::uint8_t {
   kNone,        ///< run the network exactly as constructed
   kDefault,     ///< canonicalize + remove provably dead gates
   kAggressive,  ///< default + expand wide comparators into CE pairs
+  kOptimal,     ///< default + peephole-rewrite blocks to optimal sorters
 };
 
 [[nodiscard]] const char* to_string(PassLevel level);
 [[nodiscard]] std::optional<PassLevel> parse_pass_level(std::string_view s);
 
-/// Process-wide default level: SCNET_DEFAULT_PASSES=none|default|aggressive
-/// if set (and valid), else kDefault.
+/// Process-wide default level:
+/// SCNET_DEFAULT_PASSES=none|default|aggressive|optimal if set (and
+/// valid), else kDefault.
 [[nodiscard]] PassLevel default_pass_level();
 
 struct PassOptions {
@@ -70,6 +72,12 @@ struct PassStats {
   std::uint32_t depth_before = 0;
   std::uint32_t depth_after = 0;
   double seconds = 0.0;
+  /// Local rewrites performed (0 for passes that do not rewrite blocks;
+  /// peephole-optimal counts one per replaced sub-block).
+  std::size_t rewrites = 0;
+  /// Per-rewrite provenance lines ("  wires {...}: depth a->b via Opt(n)"),
+  /// newline-terminated; appended verbatim by PipelineResult::summary().
+  std::string detail;
 };
 
 /// A network-to-network rewrite. Implementations must preserve width and
@@ -93,6 +101,17 @@ class Pass {
 
   [[nodiscard]] virtual Network run(const Network& net,
                                     const PassOptions& opts) const = 0;
+
+  /// Stats-reporting variant the PassManager calls: passes that track
+  /// per-rewrite provenance (PassStats::rewrites / detail) override this;
+  /// the default forwards to the plain run(). `stats` arrives with the
+  /// name/gates_before/depth_before fields already filled.
+  [[nodiscard]] virtual Network run(const Network& net,
+                                    const PassOptions& opts,
+                                    PassStats& stats) const {
+    (void)stats;
+    return run(net, opts);
+  }
 };
 
 /// The result of a pipeline run: the rewritten network plus one PassStats
@@ -128,6 +147,7 @@ class PassManager {
 ///   none       -> {}
 ///   default    -> relayer, dedup-adjacent, zero-one-elim, relayer
 ///   aggressive -> default + expand-wide-gates + zero-one-elim, relayer
+///   optimal    -> default + peephole-optimal, relayer
 [[nodiscard]] PassManager make_pass_pipeline(PassLevel level);
 
 /// Convenience: make_pass_pipeline(level).run(net, opts).

@@ -41,4 +41,17 @@ namespace scn {
 /// pure width-2 gate stream that downstream kernels run branchlessly.
 [[nodiscard]] std::unique_ptr<Pass> make_expand_wide_gates_pass();
 
+/// "peephole-optimal" — finds small sorting sub-blocks (wire-cone analysis
+/// over the gate stream: union-find components of wires, closed under
+/// every gate that touched them so far) whose sortingness is certified
+/// exhaustively by the 0-1 principle, and rewrites each to the
+/// depth-optimal template of opt/optimal_lib.h when that template is
+/// strictly shallower. Comparator-only (the rewrite preserves the
+/// input-output FUNCTION, not the token-routing topology) and never
+/// increases depth: open blocks (with downstream consumers) additionally
+/// require per-wire completion times not to regress. Implementation in
+/// opt/peephole.cpp; rewrite provenance lands in PassStats::rewrites /
+/// detail.
+[[nodiscard]] std::unique_ptr<Pass> make_peephole_optimal_pass();
+
 }  // namespace scn

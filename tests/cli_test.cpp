@@ -135,9 +135,12 @@ TEST(Cli, OptimizeReportsPassStatsAndKeepsMinimalNetworkIntact) {
   // keeps all 15 gates — but still reports per-pass provenance. (It sorts
   // but does not count, so verify exits 1 exactly as for the raw network.)
   // Subshell so the middle command's stderr (the pass stats) is captured
-  // alongside verify's stdout.
+  // alongside verify's stdout. The level is explicit so the pinned gate
+  // count holds under any ambient SCNET_DEFAULT_PASSES (the optimal level
+  // WOULD rewrite bubble(6) to the 12-gate depth-optimal sorter).
   const auto r = run_command("( " + kCli + " build bubble 6 | " + kCli +
-                             " optimize | " + kCli + " verify )");
+                             " optimize --passes=default | " + kCli +
+                             " verify )");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("relayer"), std::string::npos);
   EXPECT_NE(r.output.find("zero-one-elim"), std::string::npos);
@@ -155,6 +158,24 @@ TEST(Cli, OptimizeAggressiveExpandsWideGatesAndStillSorts) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("expand-wide-gates"), std::string::npos);
   EXPECT_NE(r.output.find("counting: FAIL"), std::string::npos);
+  EXPECT_NE(r.output.find("sorting (0-1 exhaustive): PASS"),
+            std::string::npos);
+}
+
+TEST(Cli, OptimizeOptimalRewritesLNetworkToProvenOptimum) {
+  // L 2x2x2 is an 8-wire sorter at construction depth 12; the optimal
+  // level's peephole pass rewrites it to the proven depth-6 optimum and
+  // reports per-rewrite provenance. The rewrite is comparator-only, so
+  // (like aggressive) counting fails but sorting is preserved.
+  const auto r = run_command("( " + kCli + " build L 2x2x2 | " + kCli +
+                             " optimize --passes=optimal --stats | " + kCli +
+                             " verify )");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("peephole-optimal"), std::string::npos);
+  EXPECT_NE(r.output.find("rewrites 1"), std::string::npos);
+  EXPECT_NE(r.output.find("Opt(8) depth 8->6"), std::string::npos);
+  EXPECT_NE(r.output.find("total: gates 48 -> 19, depth 12 -> 6"),
+            std::string::npos);
   EXPECT_NE(r.output.find("sorting (0-1 exhaustive): PASS"),
             std::string::npos);
 }

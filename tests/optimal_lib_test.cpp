@@ -1,0 +1,205 @@
+// The optimality map, locked down three ways: every table entry is
+// re-proven a sorter exhaustively (0-1 principle, bit-sliced), its depth /
+// gate-count / serialization hash are pinned golden (cache on AND off, so
+// the stamped and imperative paths can never drift apart), and the table's
+// own metadata invariants (lower_bound <= depth, depth_optimal <=> no gap)
+// are asserted rather than trusted.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/module.h"
+#include "net/serialize.h"
+#include "opt/optimal_lib.h"
+#include "runtime/runtime.h"
+#include "sim/comparator_sim.h"
+#include "verify/fast_zero_one.h"
+
+namespace scn {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Golden {
+  std::size_t width;
+  std::uint32_t depth;
+  std::size_t gates;
+  std::uint64_t hash;
+};
+
+// Captured from the shipped builders; any change to the encoded layer data
+// or the merge composition shows up as a hash mismatch here.
+constexpr Golden kGolden[] = {
+    {2, 1, 1, 0xa45ff6c58a73408dull},   {3, 3, 3, 0x60a68c9f3d2d4769ull},
+    {4, 3, 5, 0xd68b19afad1cc87eull},   {5, 5, 9, 0x94fa4bfe53bf771cull},
+    {6, 5, 12, 0x5e1cb48445269077ull},  {7, 6, 16, 0x4779a73993e5346dull},
+    {8, 6, 19, 0xe40fb1d6e070c772ull},  {9, 7, 25, 0x0c0b6984fb53dbacull},
+    {10, 7, 31, 0x5ba9303c46ff698aull}, {11, 9, 37, 0xb0eef33c6cdb6857ull},
+    {12, 9, 41, 0x89ca8ed87c2a2976ull}, {13, 10, 48, 0x8b482476696ea3c8ull},
+    {14, 10, 53, 0xff81c5ab6fbdc54eull},
+    {15, 10, 59, 0x59cd0428252491c4ull},
+    {16, 10, 63, 0x9fbbb41f8591ab5dull},
+    {18, 11, 80, 0xf484d8737495f09dull},
+    {20, 11, 97, 0x9617e417fdb90e21ull},
+    {24, 14, 127, 0xdb5f9d9a2caf4cafull},
+};
+
+TEST(OptimalLib, TableMetadataIsConsistent) {
+  const auto table = optimal_sorter_table();
+  ASSERT_EQ(table.size(), std::size(kGolden));
+  std::size_t prev_width = 0;
+  for (const OptimalEntry& e : table) {
+    EXPECT_GT(e.width, prev_width) << "table must ascend by width";
+    prev_width = e.width;
+    EXPECT_GE(e.depth, e.lower_bound) << "width " << e.width;
+    EXPECT_EQ(e.depth_optimal, e.depth == e.lower_bound)
+        << "width " << e.width;
+    EXPECT_NE(std::string(e.source), "") << "width " << e.width;
+    EXPECT_TRUE(has_optimal_sorter(e.width));
+    EXPECT_EQ(optimal_sorter_entry(e.width), &e);
+  }
+  // Contiguous coverage of the proven-optimum range.
+  for (std::size_t n = 2; n <= 16; ++n) EXPECT_TRUE(has_optimal_sorter(n));
+  EXPECT_FALSE(has_optimal_sorter(0));
+  EXPECT_FALSE(has_optimal_sorter(1));
+  EXPECT_FALSE(has_optimal_sorter(17));
+  EXPECT_FALSE(has_optimal_sorter(100));
+}
+
+TEST(OptimalLib, BundalaZavodnyOptimaArePinned) {
+  // The proven optimal depths for n = 2..16 (Bundala-Zavodny 2014).
+  constexpr std::uint32_t kOptimum[] = {1, 3, 3, 5, 5, 6, 6, 7,
+                                        7, 8, 8, 9, 9, 9, 9};
+  for (std::size_t n = 2; n <= 16; ++n) {
+    const OptimalEntry* e = optimal_sorter_entry(n);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->lower_bound, kOptimum[n - 2]) << "width " << n;
+    if (n <= 10) {
+      EXPECT_TRUE(e->depth_optimal) << "width " << n;
+    } else {
+      // Merge compositions: at most 2 layers above the proven optimum,
+      // and the gap is recorded, never hidden.
+      EXPECT_LE(e->depth - e->lower_bound, 2u) << "width " << n;
+    }
+  }
+}
+
+TEST(OptimalLib, EveryEntrySortsExhaustively) {
+  Runtime rt;
+  for (const OptimalEntry& e : optimal_sorter_table()) {
+    const Network net = make_optimal_network(e.width, rt);
+    EXPECT_TRUE(net.validate().empty()) << "width " << e.width;
+    const SortingVerdict v = fast_verify_sorting_exhaustive(net);
+    EXPECT_TRUE(v.ok) << "width " << e.width << " counterexample found";
+    EXPECT_EQ(v.inputs_checked, std::uint64_t{1} << e.width);
+  }
+}
+
+TEST(OptimalLib, GoldenHashesWithCacheEnabled) {
+  Runtime::Options on;
+  on.module_cache = true;
+  Runtime rt(on);
+  ASSERT_TRUE(rt.module_cache().enabled());
+  for (const Golden& g : kGolden) {
+    const Network net = make_optimal_network(g.width, rt);
+    EXPECT_EQ(net.depth(), g.depth) << "width " << g.width;
+    EXPECT_EQ(net.gate_count(), g.gates) << "width " << g.width;
+    EXPECT_EQ(fnv1a(serialize_network(net)), g.hash) << "width " << g.width;
+    // The table's published depth is the template's measured depth.
+    EXPECT_EQ(optimal_sorter_entry(g.width)->depth, g.depth);
+  }
+}
+
+TEST(OptimalLib, GoldenHashesWithCacheDisabled) {
+  // The imperative (cold) path must be gate-for-gate identical to the
+  // stamped path; a divergence would mean cache state changes output.
+  Runtime::Options off;
+  off.module_cache = false;
+  Runtime rt_off(off);
+  ASSERT_FALSE(rt_off.module_cache().enabled());
+  for (const Golden& g : kGolden) {
+    const Network net = make_optimal_network(g.width, rt_off);
+    EXPECT_EQ(net.depth(), g.depth) << "width " << g.width;
+    EXPECT_EQ(net.gate_count(), g.gates) << "width " << g.width;
+    EXPECT_EQ(fnv1a(serialize_network(net)), g.hash) << "width " << g.width;
+  }
+}
+
+TEST(OptimalLib, TemplatesInternAndHit) {
+  // Force-enable interning so the test also holds under the CI job that
+  // exports SCNET_MODULE_CACHE=0 for the whole suite.
+  Runtime::Options on;
+  on.module_cache = true;
+  Runtime rt(on);
+  ModuleCache& cache = rt.module_cache();
+  const auto before = cache.stats();
+  const auto first = optimal_sorter_template(8, cache);
+  const auto again = optimal_sorter_template(8, cache);
+  EXPECT_EQ(first.get(), again.get()) << "same interned template object";
+  const auto after = cache.stats();
+  EXPECT_GT(after.misses, before.misses) << "first build is a miss";
+  // A second standalone build stamps from the cached template.
+  const Network a = make_optimal_network(8, rt);
+  const Network b = make_optimal_network(8, rt);
+  EXPECT_EQ(serialize_network(a), serialize_network(b));
+  EXPECT_GT(cache.stats().hits, after.hits);
+}
+
+TEST(OptimalLib, StampsAtArbitraryWireOffsets) {
+  // Sort wires 3..8 of a 12-wire network; the other wires must pass
+  // through untouched and the sorted block must land where stamped.
+  Runtime rt;
+  NetworkBuilder builder(12, &rt.module_cache());
+  const std::vector<Wire> block = {3, 4, 5, 6, 7, 8};
+  const std::vector<Wire> out = build_optimal_sorter(builder, block);
+  ASSERT_EQ(out.size(), block.size());
+  const Network net = std::move(builder).finish(identity_order(12));
+  EXPECT_TRUE(net.validate().empty());
+  EXPECT_EQ(net.depth(), optimal_sorter_entry(6)->depth);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << 12); ++x) {
+    bool wrong = false;
+    std::size_t ones_in_block = 0;
+    for (const Wire w : block) ones_in_block += (x >> w) & 1u;
+    std::vector<Count> in(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      in[i] = static_cast<Count>((x >> i) & 1u);
+    }
+    const auto result = comparator_output_counts(net, in);
+    // Untouched wires are identities.
+    for (std::size_t i = 0; i < 12; ++i) {
+      if (i >= 3 && i <= 8) continue;
+      wrong |= result[i] != in[i];
+    }
+    // The block is sorted ascending in physical wire order (primitive
+    // layers leave wire i holding the i-th smallest).
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Count expect = i + ones_in_block >= block.size() ? 1 : 0;
+      wrong |= result[static_cast<std::size_t>(block[i])] != expect;
+    }
+    ASSERT_FALSE(wrong) << "input " << x;
+  }
+}
+
+TEST(OptimalLib, DescendingLogicalOutputOrder) {
+  // Logical output i of the template carries the i-th LARGEST input —
+  // the repo-wide step convention.
+  Runtime rt;
+  const auto tmpl = optimal_sorter_template(5, rt.module_cache());
+  ASSERT_EQ(tmpl->output_order().size(), 5u);
+  const std::vector<Count> in = {3, 1, 4, 1, 5};
+  // comparator_output_counts reads values in logical output order.
+  const auto logical = comparator_output_counts(*tmpl, in);
+  const std::vector<Count> expect = {5, 4, 3, 1, 1};
+  EXPECT_EQ(logical, expect);
+}
+
+}  // namespace
+}  // namespace scn

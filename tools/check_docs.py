@@ -15,6 +15,16 @@ Checks every Markdown file in the repository (skipping build trees) for:
   3. docs-index completeness — every ``docs/*.md`` must be referenced
      from the README's documentation table, so a new document cannot
      land without an entry point.
+  4. architecture-index completeness — every ``src/<subsystem>/``
+     directory must be mentioned in the README (the Architecture
+     block), so a new subsystem cannot land undocumented.
+  5. CLI-flag staleness — inside fenced code blocks, ``--passes=X`` /
+     ``--engine=X`` values must be levels the CLI actually accepts,
+     and a spelled-out value set (``--passes={a|b|...}``) must EQUAL
+     the CLI's set. The truth is parsed from the usage text in
+     ``examples/scnet_cli.cpp`` (a static read, so the doc-lint CI job
+     needs no build); ``--profile`` references require the flag to
+     exist there too.
 
 Exit status 0 when everything resolves, 1 with one line per dangling
 reference otherwise. Run from anywhere:
@@ -107,12 +117,89 @@ def check_docs_index(errors: list[str]) -> None:
             )
 
 
+def check_architecture_index(errors: list[str]) -> None:
+    """Every src/<subsystem>/ directory must be mentioned in README.md."""
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    for sub in sorted((REPO / "src").iterdir()):
+        if not sub.is_dir():
+            continue
+        if f"{sub.name}/" not in text:
+            errors.append(
+                "README.md: Architecture block is missing an entry for "
+                f"'src/{sub.name}/'"
+            )
+
+
+def cli_flag_sets() -> tuple[dict[str, set[str]], str]:
+    """Allowed value sets for --passes / --engine, parsed from the CLI's
+    usage text. Adjacent string literals are joined first so a brace set
+    split across source lines still parses as one unit."""
+    source = (REPO / "examples" / "scnet_cli.cpp").read_text(
+        encoding="utf-8"
+    )
+    joined = re.sub(r'"\s*"', "", source)
+    sets: dict[str, set[str]] = {}
+    for flag in ("passes", "engine"):
+        match = re.search(r"--" + flag + r"=\{([\w|]+)\}", joined)
+        if match:
+            sets[flag] = set(match.group(1).split("|"))
+    return sets, joined
+
+
+CLI_FLAG_RE = re.compile(r"--(passes|engine)=(\{[^}\s]*\}|[\w-]+)")
+
+
+def check_cli_flags(
+    md: Path,
+    text: str,
+    sets: dict[str, set[str]],
+    usage: str,
+    errors: list[str],
+) -> None:
+    """Fenced-code CLI flag references must match what the CLI accepts."""
+    rel_md = md.relative_to(REPO)
+    fenced = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            continue
+        if "--profile" in line and "--profile" not in usage:
+            errors.append(
+                f"{rel_md}:{lineno}: '--profile' is not a scnet_cli flag"
+            )
+        for match in CLI_FLAG_RE.finditer(line):
+            flag, value = match.group(1), match.group(2)
+            allowed = sets.get(flag)
+            if allowed is None:
+                errors.append(
+                    f"{rel_md}:{lineno}: no usage value set for --{flag} "
+                    "in examples/scnet_cli.cpp"
+                )
+            elif value.startswith("{"):
+                listed = set(value[1:-1].split("|"))
+                if listed != allowed:
+                    errors.append(
+                        f"{rel_md}:{lineno}: stale --{flag} value set "
+                        f"{sorted(listed)} (CLI accepts {sorted(allowed)})"
+                    )
+            elif value not in allowed:
+                errors.append(
+                    f"{rel_md}:{lineno}: '--{flag}={value}' is not a CLI "
+                    f"value (accepts {sorted(allowed)})"
+                )
+
+
 def main() -> int:
     errors: list[str] = []
     check_docs_index(errors)
+    check_architecture_index(errors)
+    flag_sets, cli_usage = cli_flag_sets()
     for md in md_files():
         rel_md = md.relative_to(REPO)
         text = md.read_text(encoding="utf-8")
+        check_cli_flags(md, text, flag_sets, cli_usage, errors)
         for lineno, line in enumerate(text.splitlines(), start=1):
             for match in PATH_RE.finditer(line):
                 ref = strip_punctuation(match.group(0))
