@@ -7,6 +7,16 @@
 //   scnet_cli info < net.scnet         summary + depth/width stats
 //   scnet_cli verify < net.scnet       counting + sorting verification
 //   scnet_cli dot < net.scnet          Graphviz
+//   scnet_cli export --dot [--overlay={none|contention|placement}]
+//                      [--tokens N] [--title T] < net.scnet
+//                                      clustered Graphviz with optional
+//                                      metric overlays: contention drives
+//                                      N tokens through the concurrent sim
+//                                      and heat-colors gates by measured
+//                                      visits; placement colors each layer
+//                                      cluster by its topology node (set
+//                                      SCNET_TOPOLOGY=2x4 to preview a
+//                                      synthetic machine)
 //   scnet_cli ascii < net.scnet        wire diagram
 //   scnet_cli count t0,t1,... < net.scnet    quiescent outputs for a load
 //   scnet_cli sort v0,v1,...  < net.scnet    comparator outputs for values
@@ -52,6 +62,7 @@
 //   --isolated           run the command in a fresh private Runtime (own
 //                        module/plan caches and metric namespace) instead of
 //                        the process-wide Runtime::shared()
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -86,8 +97,11 @@
 #include "service/saturate.h"
 #include "service/shard_manager.h"
 #include "sim/comparator_sim.h"
+#include "sim/concurrent_sim.h"
 #include "sim/count_sim.h"
 #include "sim/schedule.h"
+#include "topo/placement.h"
+#include "topo/topology.h"
 #include "tune/experiment.h"
 #include "tune/profile.h"
 #include "verify/checkers.h"
@@ -106,6 +120,9 @@ int usage() {
                "  scnet_cli build {bitonic|periodic} <width=2^k>\n"
                "  scnet_cli build {batcher|bubble} <width>\n"
                "  scnet_cli {info|analyze|svg|verify|dot|ascii} < net.scnet\n"
+               "  scnet_cli export --dot "
+               "[--overlay={none|contention|placement}] [--tokens N] "
+               "[--title T] < net.scnet\n"
                "  scnet_cli count <t0,t1,...> < net.scnet\n"
                "  scnet_cli sort [--engine={interp|plan|auto|scalar|batch|"
                "simd|threaded}] "
@@ -387,6 +404,73 @@ int cmd_sort(Runtime& rt, const Network& net, int argc, char** argv) {
     out = scn::engine::sorted_output(*cached.plan, in, backend_choice(cached));
   }
   std::printf("%s\n", format_sequence(out).c_str());
+  return 0;
+}
+
+// Clustered DOT export with optional metric overlays. The contention
+// overlay is self-contained: it drives --tokens tokens through the
+// concurrent simulator (round-robin entry wires) with the visit probe on,
+// so one pipeline — build | export — yields a heat-annotated figure. The
+// placement overlay solves the layer partition for the runtime's topology
+// (SCNET_TOPOLOGY renders synthetic machines) and reports the solver's
+// rationale on stderr.
+int cmd_export(Runtime& rt, const Network& net, int argc, char** argv) {
+  bool dot = false;
+  std::string overlay = "none";
+  std::uint64_t tokens = 1000;
+  DotOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot") {
+      dot = true;
+    } else if (arg.rfind("--overlay=", 0) == 0) {
+      overlay = arg.substr(10);
+    } else if (arg == "--tokens" && i + 1 < argc) {
+      tokens = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--title" && i + 1 < argc) {
+      opts.title = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown export option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!dot) {
+    std::fprintf(stderr, "export needs a format flag (--dot)\n");
+    return 2;
+  }
+  // Overlay data must outlive the render call — DotOptions holds spans.
+  std::vector<std::uint64_t> visits;
+  std::vector<std::uint32_t> layer_nodes;
+  if (overlay == "contention") {
+    ConcurrentNetwork cnet(net);
+    cnet.enable_visit_probe();
+    for (std::uint64_t t = 0; t < tokens; ++t) {
+      (void)cnet.traverse(static_cast<Wire>(t % net.width()));
+    }
+    visits = cnet.gate_visits();
+    opts.overlay = DotOverlay::kContention;
+    opts.gate_visits = visits;
+    std::fprintf(stderr, "overlay: %llu tokens traced, hottest gate %llu\n",
+                 static_cast<unsigned long long>(tokens),
+                 static_cast<unsigned long long>(
+                     visits.empty()
+                         ? 0
+                         : *std::max_element(visits.begin(), visits.end())));
+  } else if (overlay == "placement") {
+    const ExecutionPlan plan = compile_plan(net);
+    const topo::PlacementPlan placement =
+        topo::plan_placement(plan, rt.topology());
+    layer_nodes = placement.layer_nodes;
+    opts.overlay = DotOverlay::kPlacement;
+    opts.layer_nodes = layer_nodes;
+    std::fprintf(stderr, "overlay: %s\n", placement.rationale.c_str());
+  } else if (overlay != "none") {
+    std::fprintf(stderr,
+                 "unknown overlay '%s' (valid: none|contention|placement)\n",
+                 overlay.c_str());
+    return 2;
+  }
+  std::fputs(to_dot(net, opts).c_str(), stdout);
   return 0;
 }
 
@@ -780,6 +864,7 @@ int dispatch(Runtime& rt, int argc, char** argv) {
     return 0;
   }
   if (cmd == "sort" && argc >= 3) return cmd_sort(rt, net, argc, argv);
+  if (cmd == "export") return cmd_export(rt, net, argc, argv);
   if (cmd == "optimize") return cmd_optimize(rt, net, argc, argv);
   return usage();
 }

@@ -8,6 +8,7 @@
 #include "core/factorization.h"
 #include "core/r_network.h"
 #include "perf/thread_pool.h"
+#include "topo/topology.h"
 #include "tune/profile.h"
 
 namespace scn {
@@ -52,7 +53,25 @@ MachineCaps machine_caps() {
   caps.simd = true;
 #endif
   caps.threads = default_thread_count();
+  const topo::HardwareTopology& topology = topo::HardwareTopology::shared();
+  caps.numa_nodes = topology.node_count();
+  caps.remote_penalty = topology.remote_penalty();
   return caps;
+}
+
+double interconnect_factor(double concurrency,
+                           const topo::HardwareTopology& topology) {
+  const std::size_t nodes = topology.node_count();
+  if (nodes <= 1) return 1.0;
+  std::size_t largest_node = 0;
+  for (std::size_t k = 0; k < nodes; ++k) {
+    largest_node = std::max(largest_node, topology.node_cores(k));
+  }
+  if (concurrency <= static_cast<double>(largest_node)) return 1.0;
+  const double penalty = topology.remote_penalty();
+  const double remote_fraction =
+      static_cast<double>(nodes - 1) / static_cast<double>(nodes);
+  return 1.0 + (penalty - 1.0) * remote_fraction;
 }
 
 EngineBackend select_backend(const PlanShape& shape, std::size_t lanes,

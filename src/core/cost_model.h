@@ -24,6 +24,10 @@ namespace tune {
 class MachineProfile;  // tune/profile.h — measured autotuning cells
 }  // namespace tune
 
+namespace topo {
+class HardwareTopology;  // topo/topology.h — NUMA nodes and distances
+}  // namespace topo
+
 struct NetworkCost {
   std::size_t gates = 0;
   std::size_t endpoints = 0;  ///< sum of gate widths
@@ -141,12 +145,30 @@ struct PlanShape {
 struct MachineCaps {
   bool simd = false;          ///< AVX2 compare-exchange kernels compiled in
   std::size_t threads = 1;    ///< worker threads a pool would get
+  /// NUMA nodes of the shared HardwareTopology (1 == flat machine). The
+  /// tune/ profile fingerprint deliberately ignores these two fields:
+  /// simd x threads pin the measured cells, topology only scales the
+  /// planner's predictions.
+  std::size_t numa_nodes = 1;
+  /// Worst remote/local distance ratio (1.0 on a single node).
+  double remote_penalty = 1.0;
 };
 
 /// Capabilities of this build on this host: simd reflects whether the
 /// engine's AVX2 kernels were compiled in (-march=native / -mavx2), threads
-/// is default_thread_count().
+/// is default_thread_count(), numa_nodes/remote_penalty come from
+/// topo::HardwareTopology::shared().
 [[nodiscard]] MachineCaps machine_caps();
+
+/// Interconnect multiplier for running `concurrency` concurrent tokens /
+/// workers on `topology`: 1.0 while the load fits on one node (single-node
+/// topologies, or concurrency no larger than the largest node), else
+/// 1 + (remote_penalty - 1) * (N - 1) / N — the expected access-cost
+/// inflation when shared words are spread uniformly over N nodes. The
+/// planner multiplies predicted latency by this, so candidates whose
+/// concurrency spills across sockets are charged for the crossing.
+[[nodiscard]] double interconnect_factor(double concurrency,
+                                         const topo::HardwareTopology& topology);
 
 /// Thresholds of the dispatch policy (exposed for tests and docs).
 inline constexpr std::size_t kThreadedMinLanes = 256;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <string>
 
 #include "engine/batch_engine.h"
@@ -10,6 +11,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/runtime.h"
+#include "topo/placement.h"
+#include "topo/topology.h"
 
 namespace scn::engine {
 namespace {
@@ -248,12 +251,27 @@ class ThreadedBackend final : public Backend {
             .explicit_simd = false,
             .min_profitable_lanes = kThreadedMinLanes};
   }
+  // When the runtime sits on a multi-node topology (and placement is on),
+  // lanes are partitioned by PlacementPlan onto node-affine worker groups
+  // instead of blind striping; the two paths are bit-identical (lanes are
+  // independent, all boundaries deterministic), so this is purely a
+  // locality decision. The placement depends only on plan shape x topology
+  // x pool size, all fixed per runtime, so it is solved per call without
+  // caching (it is a handful of integer divisions).
   void run_batch(const ExecutionPlan& plan, Batch<Count>& batch,
                  Runtime& rt) const override {
+    if (const auto placement = placement_for(plan, rt)) {
+      run_plan_batch(plan, batch, rt.pool(), *placement);
+      return;
+    }
     run_plan_batch(plan, batch, rt.pool());
   }
   void run_counts_batch(const ExecutionPlan& plan, Batch<Count>& batch,
                         Runtime& rt) const override {
+    if (const auto placement = placement_for(plan, rt)) {
+      run_plan_counts_batch(plan, batch, rt.pool(), *placement);
+      return;
+    }
     run_plan_counts_batch(plan, batch, rt.pool());
   }
   // The tier's pack -> run -> unpack path shards the transposes along with
@@ -261,12 +279,30 @@ class ThreadedBackend final : public Backend {
   [[nodiscard]] std::vector<std::vector<Count>> sort_batch(
       const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
       Runtime& rt) const override {
+    if (const auto placement = placement_for(plan, rt)) {
+      return plan_sort_batch(plan, inputs, rt.pool(), *placement);
+    }
     return plan_sort_batch(plan, inputs, &rt.pool());
   }
   [[nodiscard]] std::vector<std::vector<Count>> count_batch(
       const ExecutionPlan& plan, std::span<const std::vector<Count>> inputs,
       Runtime& rt) const override {
+    if (const auto placement = placement_for(plan, rt)) {
+      return plan_count_batch(plan, inputs, rt.pool(), *placement);
+    }
     return plan_count_batch(plan, inputs, &rt.pool());
+  }
+
+ private:
+  [[nodiscard]] static std::optional<topo::PlacementPlan> placement_for(
+      const ExecutionPlan& plan, Runtime& rt) {
+    if (!rt.placement_enabled() || rt.pool().group_count() <= 1) {
+      return std::nullopt;
+    }
+    topo::PlacementPlan placement =
+        topo::plan_placement(plan, rt.topology(), rt.pool().size());
+    if (!placement.multi_node()) return std::nullopt;
+    return placement;
   }
 };
 

@@ -5,19 +5,109 @@
 
 namespace scn {
 
-std::string to_dot(const Network& net, const std::string& title) {
+namespace {
+
+// Pastel fill palette for placement clusters, one color per topology node
+// (cycled past 8 nodes). Chosen light so black gate labels stay readable.
+constexpr const char* kNodePalette[] = {
+    "#cfe2f3", "#d9ead3", "#fff2cc", "#f4cccc",
+    "#d9d2e9", "#fce5cd", "#d0e0e3", "#ead1dc",
+};
+constexpr std::size_t kNodePaletteSize =
+    sizeof(kNodePalette) / sizeof(kNodePalette[0]);
+
+/// Maps a visit count onto the 9-step Graphviz `oranges9` scheme: 1 for
+/// cold gates, 9 for the hottest. Linear in visits/max — contention is
+/// what the ramp should scream about, and the hottest gate IS the story.
+std::size_t heat_bucket(std::uint64_t visits, std::uint64_t max_visits) {
+  if (max_visits == 0 || visits == 0) return 1;
+  const std::size_t bucket =
+      1 + static_cast<std::size_t>((visits * 8) / max_visits);
+  return std::min<std::size_t>(bucket, 9);
+}
+
+}  // namespace
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        break;  // never useful inside a DOT label
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_dot(const Network& net, const DotOptions& opts) {
+  // Overlay data is trusted only at the expected length — a stale span
+  // (e.g. visits captured before a rewrite pass changed the gate count)
+  // silently degrades to the structural rendering rather than misleading.
+  const bool heat = opts.overlay == DotOverlay::kContention &&
+                    opts.gate_visits.size() == net.gate_count();
+  const bool placed = opts.overlay == DotOverlay::kPlacement &&
+                      opts.layer_nodes.size() == net.depth();
+  std::uint64_t max_visits = 0;
+  if (heat) {
+    for (const std::uint64_t v : opts.gate_visits) {
+      max_visits = std::max(max_visits, v);
+    }
+  }
+
   std::ostringstream os;
-  os << "digraph \"" << title << "\" {\n";
+  os << "digraph \"" << dot_escape(opts.title) << "\" {\n";
   os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
   // Terminal nodes.
   for (std::size_t w = 0; w < net.width(); ++w) {
     os << "  in" << w << " [shape=point, xlabel=\"x" << w << "\"];\n";
     os << "  out" << w << " [shape=point, xlabel=\"y" << w << "\"];\n";
   }
+  // One cluster per layer: gate declarations live inside, rank-aligned, so
+  // a rendered module reads as a column the way the paper draws it. Node
+  // ids stay flat (`g<i>`), which keeps the edge statements — and any
+  // consumer grepping for them — identical to the unclustered form.
   const auto gates = net.gates();
-  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
-    os << "  g" << gi << " [label=\"b" << gates[gi].width << " @L"
-       << gates[gi].layer << "\"];\n";
+  const auto layer_groups = net.layers();
+  for (std::size_t l = 0; l < layer_groups.size(); ++l) {
+    os << "  subgraph cluster_l" << l << " {\n";
+    // Label with the gates' own (1-based) layer number so the cluster
+    // caption matches the per-gate "@L<k>" annotations.
+    const std::size_t shown_layer =
+        layer_groups[l].empty() ? l + 1 : gates[layer_groups[l][0]].layer;
+    os << "    label=\"L" << shown_layer;
+    if (placed) os << " @node" << opts.layer_nodes[l];
+    os << "\";\n    fontsize=9;\n";
+    if (placed) {
+      os << "    style=filled;\n    fillcolor=\""
+         << kNodePalette[opts.layer_nodes[l] % kNodePaletteSize] << "\";\n";
+    } else {
+      os << "    style=dashed;\n";
+    }
+    os << "    rank=same;\n";
+    for (const std::size_t gi : layer_groups[l]) {
+      os << "    g" << gi << " [label=\"b" << gates[gi].width << " @L"
+         << gates[gi].layer;
+      if (heat) os << "\\n" << opts.gate_visits[gi] << "v";
+      os << "\"";
+      if (heat) {
+        os << ", style=filled, fillcolor=\"/oranges9/"
+           << heat_bucket(opts.gate_visits[gi], max_visits) << "\"";
+      }
+      os << "];\n";
+    }
+    os << "  }\n";
   }
   // Edges: walk each wire through its gate sequence.
   std::vector<std::string> frontier(net.width());
@@ -35,15 +125,14 @@ std::string to_dot(const Network& net, const std::string& title) {
     os << "  " << frontier[w] << " -> out" << net.output_position(
         static_cast<Wire>(w)) << ";\n";
   }
-  // Align gates of equal layer.
-  const auto layer_groups = net.layers();
-  for (std::size_t l = 0; l < layer_groups.size(); ++l) {
-    os << "  { rank=same;";
-    for (const std::size_t gi : layer_groups[l]) os << " g" << gi << ";";
-    os << " }\n";
-  }
   os << "}\n";
   return os.str();
+}
+
+std::string to_dot(const Network& net, const std::string& title) {
+  DotOptions opts;
+  opts.title = title;
+  return to_dot(net, opts);
 }
 
 std::string to_ascii(const Network& net) {

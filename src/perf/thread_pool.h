@@ -1,5 +1,5 @@
 // A reusable fixed-size thread pool shared by the parallel subsystems
-// (batch execution engine, parallel verifier, future servers).
+// (batch execution engine, parallel verifier, the sharded service).
 //
 // Design goals, in order:
 //   1. Determinism-friendly: the pool never decides *what* work runs, only
@@ -8,9 +8,17 @@
 //   2. Reuse: worker threads are created once and parked between bursts,
 //      replacing the spawn-join-per-call pattern that previously dominated
 //      short verification sweeps.
-//   3. Simplicity: a single mutex/condvar task queue. The work items we run
-//      (a plan over a column shard, a verification total) are coarse enough
-//      that queue overhead is noise.
+//   3. Topology-aware: when built against a multi-node HardwareTopology the
+//      workers are partitioned into node-affine GROUPS (split_workers
+//      apportionment, pinned via pthread_setaffinity_np on Linux for real
+//      topologies — synthetic SCNET_TOPOLOGY cpu ids are virtual, so
+//      pinning is skipped). submit() work is node-agnostic and any worker
+//      takes it; submit_to_group() work runs only on that node's workers,
+//      which is how placed execution keeps a lane range on its home node.
+//   4. Simplicity: a single mutex/condvar guarding one shared queue plus
+//      one queue per group. The work items we run (a plan over a column
+//      shard, a verification total) are coarse enough that queue overhead
+//      is noise.
 #pragma once
 
 #include <condition_variable>
@@ -20,20 +28,32 @@
 #include <thread>
 #include <vector>
 
+namespace scn::topo {
+class HardwareTopology;
+}  // namespace scn::topo
+
 namespace scn {
 
 /// The default worker count for pools sized with `threads == 0`: the
 /// SCNET_THREADS environment variable when set to a positive integer
-/// (letting CI containers cap oversubscription), otherwise
-/// hardware_concurrency, min 1. Read per call — pools capture the value at
-/// construction.
+/// (letting CI containers cap oversubscription; values above
+/// kMaxThreadCount are clamped with a stderr warning), otherwise
+/// hardware_concurrency, min 1 (hardware_concurrency may report 0).
+/// Read per call — pools capture the value at construction.
 [[nodiscard]] std::size_t default_thread_count();
+
+/// Hard ceiling on SCNET_THREADS: a typo like SCNET_THREADS=80000 must
+/// not spawn eighty thousand workers.
+inline constexpr std::size_t kMaxThreadCount = 512;
 
 class ThreadPool {
  public:
   /// Spawns `threads` workers (0 => default_thread_count(): SCNET_THREADS,
-  /// else hardware_concurrency, min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// else hardware_concurrency, min 1). With a multi-node `topology` the
+  /// workers are split into node-affine groups; with nullptr or a
+  /// single-node topology there is one group holding every worker.
+  explicit ThreadPool(std::size_t threads = 0,
+                      const topo::HardwareTopology* topology = nullptr);
 
   /// Drains outstanding tasks, then joins all workers.
   ~ThreadPool();
@@ -44,8 +64,24 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues one task. Tasks must not throw.
+  /// Node-affine worker groups (>= 1; == 1 when topology-blind).
+  [[nodiscard]] std::size_t group_count() const {
+    return group_sizes_.size();
+  }
+  /// Workers in group `g`. Groups parallel the topology's node indices;
+  /// a group may be empty on a node the apportionment starved.
+  [[nodiscard]] std::size_t group_size(std::size_t g) const {
+    return group_sizes_[g];
+  }
+
+  /// Enqueues one task any worker may run. Tasks must not throw.
   void submit(std::function<void()> task);
+
+  /// Enqueues one task that only group `g`'s workers may run — the
+  /// placement substrate: placed execution submits each lane range's
+  /// chunks to the range's home node. Falls back to submit() when the
+  /// group is empty (a starved group must not strand its tasks).
+  void submit_to_group(std::size_t g, std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
@@ -58,21 +94,26 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
-  /// Process-wide pool sized by default_thread_count(), created on first
-  /// use; this is the pool behind Runtime::shared(). Shared by the batch
-  /// engine and the verifiers so the default runtime keeps one set of
-  /// worker threads no matter how many subsystems go parallel (private
-  /// Runtimes spawn their own).
+  /// Process-wide pool sized by default_thread_count() over the shared
+  /// HardwareTopology, created on first use; this is the pool behind
+  /// Runtime::shared(). Shared by the batch engine and the verifiers so
+  /// the default runtime keeps one set of worker threads no matter how
+  /// many subsystems go parallel (private Runtimes spawn their own).
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t group);
+  [[nodiscard]] bool all_drained() const;
 
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::vector<std::function<void()>> queue_;  // FIFO via head index
   std::size_t queue_head_ = 0;
+  // One FIFO per group for submit_to_group (same head-index scheme).
+  std::vector<std::vector<std::function<void()>>> group_queues_;
+  std::vector<std::size_t> group_queue_heads_;
+  std::vector<std::size_t> group_sizes_;
   std::size_t active_ = 0;  // tasks currently executing
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -1,14 +1,18 @@
 #include "service/shard_manager.h"
 
 #include <algorithm>
+#include <random>
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
 #include "core/k_network.h"
 #include "engine/backend.h"
 #include "obs/metrics.h"
 #include "opt/plan_cache.h"
 #include "perf/contention_model.h"
+#include "topo/placement.h"
+#include "topo/topology.h"
 #include "verify/checkers.h"
 
 namespace scn {
@@ -34,8 +38,9 @@ std::uint64_t ceil_share(std::uint64_t total, std::size_t index,
 }  // namespace
 
 struct ShardManager::Shard {
-  explicit Shard(const std::vector<std::size_t>& factors)
-      : runtime(),
+  Shard(const std::vector<std::size_t>& factors,
+        const Runtime::Options& rt_options)
+      : runtime(rt_options),
         network(make_k_network(factors, runtime)),
         cnet(network),
         local_tokens(&runtime.metrics().counter("service.shard.tokens")) {}
@@ -61,9 +66,29 @@ ShardManager::ShardManager(const Options& options, Runtime& rt)
       throw std::invalid_argument("shard network factors must be >= 2");
     }
   }
+  // Resolve the dispatch start shard once: explicit option, else one
+  // random draw per manager (NOT per call — the offset must be stable
+  // within an epoch for the residue accounting to hold).
+  offset_ = options_.dispatch_offset.has_value()
+                ? *options_.dispatch_offset
+                : static_cast<std::uint64_t>(std::random_device{}());
+  // Shard -> node placement on the home runtime's topology; prefix-
+  // balanced so every active set spreads across nodes.
+  const topo::HardwareTopology& topology = rt.topology();
+  const bool affine = options_.node_affine && topology.node_count() > 1;
+  shard_nodes_ = affine
+                     ? topo::place_shards(options_.shards, topology)
+                     : std::vector<std::size_t>(options_.shards, 0);
   shards_.reserve(options_.shards);
   for (std::size_t j = 0; j < options_.shards; ++j) {
-    auto shard = std::make_unique<Shard>(options_.factors);
+    Runtime::Options shard_rt;
+    if (affine) {
+      // The shard's private pool spawns inside its node's slice, so its
+      // threaded traversals never cross the interconnect.
+      shard_rt.topology = std::make_shared<const topo::HardwareTopology>(
+          topology.node_view(shard_nodes_[j]));
+    }
+    auto shard = std::make_unique<Shard>(options_.factors, shard_rt);
     shard->home_tokens = &rt.metrics().counter(
         "service.shard" + std::to_string(j) + ".tokens");
     if (options_.visit_probe) shard->cnet.enable_visit_probe();
@@ -92,7 +117,10 @@ std::uint64_t ShardManager::next_on(Wire wire) {
   // in_flight_ == 0 — both are stable for the duration of this call.
   const std::size_t active = active_.load(std::memory_order_acquire);
   const std::uint64_t d = dispatch_.fetch_add(1, std::memory_order_acq_rel);
-  const auto idx = static_cast<std::size_t>(d % active);
+  // The offset rotates which SHARD serves ticket d; the value residue
+  // stays d % active so the composed values still cover exactly
+  // {base .. base + D - 1} (see the header's composition argument).
+  const auto idx = static_cast<std::size_t>((d + offset_) % active);
   Shard& shard = *shards_[idx];
   const auto width = static_cast<std::uint64_t>(shard.network.width());
   const ConcurrentNetwork::ExitEvent exit = shard.cnet.traverse(
@@ -102,7 +130,7 @@ std::uint64_t ShardManager::next_on(Wire wire) {
   const std::uint64_t local =
       static_cast<std::uint64_t>(exit.position) + width * exit.ticket;
   const std::uint64_t value = base_.load(std::memory_order_relaxed) +
-                              local * active + idx;
+                              local * active + (d % active);
   shard.epoch_tokens.fetch_add(1, std::memory_order_relaxed);
   shard.local_tokens->add(1);
   shard.home_tokens->add(1);
@@ -124,7 +152,7 @@ void ShardManager::route(std::uint64_t n) {
   std::vector<std::uint64_t> per_shard(active, 0);
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t d = dispatch_.fetch_add(1, std::memory_order_acq_rel);
-    const auto idx = static_cast<std::size_t>(d % active);
+    const auto idx = static_cast<std::size_t>((d + offset_) % active);
     Shard& shard = *shards_[idx];
     const auto width = static_cast<std::uint32_t>(shard.network.width());
     (void)shard.cnet.traverse(
@@ -176,6 +204,10 @@ Runtime& ShardManager::shard_runtime(std::size_t shard) {
   return shards_.at(shard)->runtime;
 }
 
+std::size_t ShardManager::shard_node(std::size_t shard) const {
+  return shard_nodes_.at(shard);
+}
+
 std::vector<Count> ShardManager::shard_output_counts(
     std::size_t shard) const {
   return shards_.at(shard)->cnet.output_counts();
@@ -194,8 +226,12 @@ ShardManager::LinearityReport ShardManager::verify_linearity() const {
     const std::vector<Count> counts = shard_output_counts(j);
     std::uint64_t routed = 0;
     for (const Count c : counts) routed += static_cast<std::uint64_t>(c);
+    // Shard j serves the residue class r with (r + offset) % active == j,
+    // so its round-robin share is the r-th, not the j-th.
+    const std::size_t residue =
+        (j + active - static_cast<std::size_t>(offset_ % active)) % active;
     const std::uint64_t expected =
-        j < active ? ceil_share(total, j, active) : 0;
+        j < active ? ceil_share(total, residue, active) : 0;
     if (routed != expected) {
       report.detail = "shard " + std::to_string(j) + " routed " +
                       std::to_string(routed) + " tokens, expected " +
@@ -246,9 +282,18 @@ ShardManager::RebalanceDecision ShardManager::rebalance() {
                            " call(s) in flight");
   }
 #endif
+  const auto distinct_nodes = [this](std::size_t active) {
+    std::unordered_set<std::size_t> nodes(shard_nodes_.begin(),
+                                          shard_nodes_.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  active));
+    return nodes.size();
+  };
+
   RebalanceDecision decision;
   decision.active_before = active_shards();
   decision.epoch_tokens = dispatched();
+  decision.nodes_before = distinct_nodes(decision.active_before);
 
   // Score each active shard: (hottest-gate traffic fraction) x (tokens it
   // routed this epoch) estimates the serialized fetch-adds on its hottest
@@ -278,6 +323,7 @@ ShardManager::RebalanceDecision ShardManager::rebalance() {
     --next_active;
   }
   decision.active_after = next_active;
+  decision.nodes_after = distinct_nodes(next_active);
 
   // Close the epoch: everything dispatched so far is handed out, the next
   // epoch's values start past it, and the shards restart from zero so

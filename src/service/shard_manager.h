@@ -12,17 +12,28 @@
 // counting networks (shards), each on its own private Runtime with its own
 // MetricsRegistry, behind one FetchIncCounter facade. A token takes one
 // dispatch ticket d from a single round-robin word, routes through shard
-// d % A (A = currently active shards), and composes its value as
+// (d + offset) % A (A = currently active shards; offset is a per-manager
+// start shard, randomized by default so co-located services do not all
+// hammer shard 0 first), and composes its value as
 //
 //     value = epoch_base + local * A + (d % A)
 //
 // where local = position + w * ticket is the shard-level NetworkCounter
-// value. Because the dispatch ticket distributes tokens round-robin, shard
-// i receives exactly ceil((D - i) / A) of D dispatched tokens — the step
-// property ACROSS shards — and each shard's counting network guarantees
-// its local values are exactly {0..n_i-1} at quiescence. The interleaving
-// therefore hands out exactly {epoch_base .. epoch_base + D - 1}: global
-// counter linearity from shard-local step properties plus one fetch-add.
+// value. The SHARD index carries the offset but the value RESIDUE does
+// not: shard (r + offset) % A simply hands out the values with residue r,
+// so the union over shards is unchanged. Because the dispatch ticket
+// distributes tokens round-robin, each residue class r covers exactly
+// ceil((D - r) / A) of D dispatched tokens — the step property ACROSS
+// shards — and each shard's counting network guarantees its local values
+// are exactly {0..n_i-1} at quiescence. The interleaving therefore hands
+// out exactly {epoch_base .. epoch_base + D - 1}: global counter
+// linearity from shard-local step properties plus one fetch-add.
+//
+// Topology: with Options::node_affine (default), shard runtimes are placed
+// on the home runtime's HardwareTopology by topo::place_shards — prefix-
+// balanced across nodes, so whatever the active count, the live shards
+// spread over the machine and each shard's private pool stays inside its
+// node (node_view). rebalance() reports the node spread of its decisions.
 // The cost of composition is that one dispatch word (every token touches
 // it once); the payoff is depth(w) + 1 fetch-adds per token instead of
 // depth(N * w) — for 4 shards of K(2^4), 13 instead of 35.
@@ -47,6 +58,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +90,17 @@ class ShardManager final : public FetchIncCounter {
     double grow_score = 50000.0;
     /// Estimate below which rebalance() deactivates one shard (min 1).
     double shrink_score = 500.0;
+    /// Round-robin start shard: dispatch ticket d routes through shard
+    /// (d + dispatch_offset) % active. nullopt => randomized per manager,
+    /// so co-located services do not all lockstep their first dispatches
+    /// onto shard 0. The offset shifts only the SHARD a ticket lands on —
+    /// the value residue stays d % active, so linearity is untouched.
+    std::optional<std::uint64_t> dispatch_offset = std::nullopt;
+    /// Place each shard's private Runtime on a topology node
+    /// (topo::place_shards over the home runtime's topology; the shard's
+    /// pool then spawns inside that node's node_view). Only meaningful on
+    /// multi-node topologies; single-node ones place everything on node 0.
+    bool node_affine = true;
   };
 
   /// `rt` is the service's home runtime: the `service.*` counters publish
@@ -124,6 +147,12 @@ class ShardManager final : public FetchIncCounter {
 
   /// Shard `shard`'s private runtime (metrics: `service.shard.tokens`).
   [[nodiscard]] Runtime& shard_runtime(std::size_t shard);
+  /// Topology node shard `shard`'s runtime was placed on (always 0 when
+  /// node_affine is off or the topology is single-node).
+  [[nodiscard]] std::size_t shard_node(std::size_t shard) const;
+  /// The dispatch offset resolved at construction (Options::dispatch_offset
+  /// or the per-manager random draw).
+  [[nodiscard]] std::uint64_t dispatch_offset() const { return offset_; }
   /// Quiescent per-position exit counts of shard `shard`'s network.
   [[nodiscard]] std::vector<Count> shard_output_counts(
       std::size_t shard) const;
@@ -150,6 +179,12 @@ class ShardManager final : public FetchIncCounter {
     std::size_t active_after = 0;
     double max_score = 0.0;       ///< hottest-word estimate that decided
     std::uint64_t epoch_tokens = 0;
+    /// Distinct topology nodes hosting the active prefix before/after —
+    /// the locality ledger of the decision. place_shards() keeps every
+    /// prefix node-balanced, so growth spreads across nodes as early as
+    /// possible and shrinking retreats one shard without stranding a node.
+    std::size_t nodes_before = 1;
+    std::size_t nodes_after = 1;
   };
   /// Closes the epoch: scores each active shard's contention (probe-fed
   /// when enabled), grows/shrinks the active prefix per Options, re-bases
@@ -162,6 +197,8 @@ class ShardManager final : public FetchIncCounter {
 
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::size_t> shard_nodes_;  // topo node per shard
+  std::uint64_t offset_ = 0;              // resolved dispatch offset
   std::atomic<std::size_t> active_;
   std::atomic<std::uint64_t> dispatch_{0};  // epoch-local round-robin ticket
   std::atomic<std::uint64_t> base_{0};      // values handed out pre-epoch

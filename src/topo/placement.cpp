@@ -1,0 +1,137 @@
+#include "topo/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace scn::topo {
+namespace {
+
+/// Wire endpoints touched by layer `l` — the per-layer traffic weight the
+/// solver balances. Pair gates touch 2 wires each; wide gates touch their
+/// listed width.
+std::size_t layer_weight(const ExecutionPlan& plan,
+                         const ExecutionPlan::Layer& layer) {
+  std::size_t weight = 2 * (layer.pair_end - layer.pair_begin);
+  for (std::uint32_t g = layer.wide_begin; g < layer.wide_end; ++g) {
+    weight += plan.wide_gates()[g].width;
+  }
+  return weight;
+}
+
+}  // namespace
+
+bool PlacementPlan::multi_node() const {
+  std::size_t populated = 0;
+  for (const std::size_t w : group_workers) populated += (w > 0);
+  return populated > 1;
+}
+
+std::vector<PlacementPlan::LaneRange> PlacementPlan::lane_ranges(
+    std::size_t lanes) const {
+  std::vector<LaneRange> ranges;
+  const std::size_t total =
+      std::accumulate(group_workers.begin(), group_workers.end(),
+                      std::size_t{0});
+  if (total == 0 || lanes == 0) {
+    if (lanes > 0) ranges.push_back({0, 0, lanes});
+    return ranges;
+  }
+  // Cumulative-proportional boundaries: node k's range ends at
+  // floor(lanes * workers(0..k) / total). Contiguous, exhaustive, and a
+  // pure function of (lanes, group_workers) — placed execution stays
+  // bit-identical across runs because these boundaries are.
+  std::size_t cum = 0;
+  std::size_t begin = 0;
+  for (std::size_t node = 0; node < group_workers.size(); ++node) {
+    cum += group_workers[node];
+    const std::size_t end = lanes * cum / total;
+    ranges.push_back({node, begin, end});
+    begin = end;
+  }
+  return ranges;
+}
+
+PlacementPlan plan_placement(const ExecutionPlan& plan,
+                             const HardwareTopology& topology,
+                             std::size_t workers) {
+  if (workers == 0) workers = std::max<std::size_t>(1, topology.total_cores());
+  PlacementPlan placement;
+  placement.group_workers = split_workers(workers, topology);
+
+  const std::size_t n = topology.node_count();
+  const std::size_t depth = plan.layers().size();
+  std::vector<std::size_t> weights(depth, 0);
+  std::size_t total_weight = 0;
+  for (std::size_t l = 0; l < depth; ++l) {
+    weights[l] = layer_weight(plan, plan.layers()[l]);
+    total_weight += weights[l];
+  }
+
+  // Layer partition: contiguous blocks, balanced by weight. Layer l goes
+  // to the node whose cumulative share its weight midpoint falls in.
+  placement.layer_nodes.assign(depth, 0);
+  if (n > 1 && total_weight > 0) {
+    std::size_t prefix = 0;
+    for (std::size_t l = 0; l < depth; ++l) {
+      const std::size_t mid = 2 * prefix + weights[l];  // 2x midpoint
+      std::size_t node = mid * n / (2 * total_weight);
+      placement.layer_nodes[l] =
+          static_cast<std::uint32_t>(std::min(node, n - 1));
+      prefix += weights[l];
+    }
+  }
+
+  // Cost estimates (unitless, per lane). Blind striping lets any worker
+  // pick up any chunk, so between layers a lane's rows sit on the wrong
+  // node with probability (n-1)/n and remote access costs remote_penalty
+  // instead of 1. Placement pins each lane's whole layer walk to one node.
+  const double penalty = topology.remote_penalty();
+  const double remote_fraction =
+      n > 1 ? static_cast<double>(n - 1) / static_cast<double>(n) : 0.0;
+  placement.placed_cost = static_cast<double>(total_weight);
+  placement.striped_cost =
+      static_cast<double>(total_weight) *
+      (1.0 + remote_fraction * (penalty - 1.0));
+
+  std::ostringstream os;
+  os << "placement on " << topology.describe() << ": " << workers
+     << (workers == 1 ? " worker" : " workers") << " in [";
+  for (std::size_t k = 0; k < placement.group_workers.size(); ++k) {
+    os << (k ? "," : "") << placement.group_workers[k];
+  }
+  os << "] groups; est. cost " << placement.placed_cost
+     << " placed vs " << placement.striped_cost << " striped (penalty x"
+     << penalty << ")";
+  placement.rationale = os.str();
+  return placement;
+}
+
+std::vector<std::size_t> place_shards(std::size_t shards,
+                                      const HardwareTopology& topology) {
+  std::vector<std::size_t> nodes(shards, 0);
+  const std::size_t n = topology.node_count();
+  if (n <= 1) return nodes;
+  // Greedy prefix-balanced assignment: each shard goes to the node with
+  // the lowest load-per-core so far (ties to lower ids). Because the shard
+  // manager activates shards as a PREFIX, every prefix must already be
+  // balanced — plain blocks ("first half on node 0") would leave small
+  // active sets entirely on one node.
+  std::vector<std::size_t> load(n, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < n; ++k) {
+      const std::size_t cores_best =
+          std::max<std::size_t>(1, topology.node_cores(best));
+      const std::size_t cores_k =
+          std::max<std::size_t>(1, topology.node_cores(k));
+      // load[k]/cores[k] < load[best]/cores[best], integer-safely.
+      if (load[k] * cores_best < load[best] * cores_k) best = k;
+    }
+    nodes[s] = best;
+    ++load[best];
+  }
+  return nodes;
+}
+
+}  // namespace scn::topo

@@ -1,0 +1,80 @@
+// PlacementPlan — how a compiled ExecutionPlan's work maps onto a
+// HardwareTopology's nodes.
+//
+// The threaded backend shards a batch's lanes over the pool. Before this
+// layer, the split ("blind striping") ignored node boundaries: any worker
+// could pick up any chunk, so a lane's rows migrated between last-level
+// caches as the plan's layers revisited them — the cross-node traffic the
+// interconnect charges for. The placement solver fixes the assignment:
+//
+//   * lanes are split into ONE contiguous range per node-scoped worker
+//     group, sized proportionally to the group's workers. A lane then runs
+//     every layer on its home node, so per-layer cross-node wire traffic
+//     is zero by construction (lanes are independent; this is the same
+//     structural fact that makes the threaded tier deterministic);
+//   * layers are additionally assigned to nodes (balanced contiguous
+//     blocks by wire-endpoint weight). The executor does not use this —
+//     splitting by layer would ship the whole batch across nodes at every
+//     block boundary, which the solver's own cost estimate rejects — but
+//     the assignment is what a layer-partitioned machine WOULD do, and the
+//     DOT placement overlay renders it (docs/topology.md).
+//
+// Cost estimates use the per-layer wire data already in the plan: a layer
+// costs its wire endpoints; traffic between nodes costs wire count times
+// the topology's remote/local distance ratio. The rationale string records
+// both candidates so `--overlay=placement` output is self-explaining.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/execution_plan.h"
+#include "topo/topology.h"
+
+namespace scn::topo {
+
+struct PlacementPlan {
+  /// Worker share per topology node (parallel to topology node indices;
+  /// proportional to node core counts, every node with cores gets >= 1
+  /// when workers >= nodes).
+  std::vector<std::size_t> group_workers;
+  /// Layer -> node of the (unused-by-the-executor) layer partition; what
+  /// the DOT placement overlay colors by.
+  std::vector<std::uint32_t> layer_nodes;
+  /// Estimated relative cost of blind striping (lane chunks migrate
+  /// across nodes as workers steal) vs this placement (lane ranges pinned
+  /// to node groups). Unitless; placed_cost <= striped_cost always.
+  double striped_cost = 0.0;
+  double placed_cost = 0.0;
+  std::string rationale;
+
+  /// True when more than one node actually received workers — the only
+  /// case where placed execution differs from plain striping.
+  [[nodiscard]] bool multi_node() const;
+
+  /// Splits [0, lanes) into one contiguous range per node, proportional
+  /// to group_workers (empty ranges for worker-less nodes). Deterministic:
+  /// boundaries depend only on (lanes, group_workers).
+  struct LaneRange {
+    std::size_t node = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  [[nodiscard]] std::vector<LaneRange> lane_ranges(std::size_t lanes) const;
+};
+
+/// Solves the placement of `plan` on `topology` for a pool of `workers`
+/// threads (0 => topology.total_cores()).
+[[nodiscard]] PlacementPlan plan_placement(const ExecutionPlan& plan,
+                                           const HardwareTopology& topology,
+                                           std::size_t workers = 0);
+
+/// Shard -> node assignment for `shards` service shards: round-robin over
+/// nodes weighted by core count, so every PREFIX of the shard list (the
+/// manager's elastic active set) stays node-balanced.
+[[nodiscard]] std::vector<std::size_t> place_shards(
+    std::size_t shards, const HardwareTopology& topology);
+
+}  // namespace scn::topo

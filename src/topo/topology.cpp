@@ -1,0 +1,261 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace scn::topo {
+namespace {
+
+/// Parses the kernel's cpulist format: "0-3,8,10-11" -> cpu ids.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t dash = item.find('-');
+    char* end = nullptr;
+    const long lo = std::strtol(item.c_str(), &end, 10);
+    if (end == item.c_str() || lo < 0) continue;
+    long hi = lo;
+    if (dash != std::string::npos) {
+      hi = std::strtol(item.c_str() + dash + 1, nullptr, 10);
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::optional<HardwareTopology> HardwareTopology::detect_sysfs() {
+  constexpr const char* kBase = "/sys/devices/system/node/node";
+  std::vector<std::vector<int>> node_cpus;
+  std::vector<std::vector<unsigned>> node_distances;
+  for (std::size_t k = 0;; ++k) {
+    const std::string dir = kBase + std::to_string(k);
+    const std::string cpulist = read_file(dir + "/cpulist");
+    if (cpulist.empty()) break;
+    std::vector<int> cpus = parse_cpulist(cpulist);
+    if (cpus.empty()) break;  // memory-only node: stop at the cpu nodes
+    std::vector<unsigned> dist;
+    std::stringstream ds(read_file(dir + "/distance"));
+    unsigned d = 0;
+    while (ds >> d) dist.push_back(d);
+    node_cpus.push_back(std::move(cpus));
+    node_distances.push_back(std::move(dist));
+  }
+  if (node_cpus.empty()) return std::nullopt;
+  const std::size_t n = node_cpus.size();
+  HardwareTopology t;
+  t.nodes_.reserve(n);
+  for (auto& cpus : node_cpus) {
+    Node node;
+    node.cpus = std::move(cpus);
+    t.nodes_.push_back(std::move(node));
+  }
+  // The distance file lists one row per node; rows missing or short (some
+  // kernels trim them) fall back to the classic 10/21 SLIT values.
+  t.distances_.assign(n * n, 21);
+  for (std::size_t a = 0; a < n; ++a) {
+    t.distances_[a * n + a] = 10;
+    if (a >= node_distances.size()) continue;
+    const auto& row = node_distances[a];
+    for (std::size_t b = 0; b < std::min(n, row.size()); ++b) {
+      t.distances_[a * n + b] = row[b];
+    }
+  }
+  t.synthetic_ = false;
+  t.source_ = "sysfs";
+  return t;
+}
+
+HardwareTopology HardwareTopology::uniform(std::size_t cores) {
+  HardwareTopology t;
+  Node node;
+  node.cpus.reserve(std::max<std::size_t>(1, cores));
+  for (std::size_t c = 0; c < std::max<std::size_t>(1, cores); ++c) {
+    node.cpus.push_back(static_cast<int>(c));
+  }
+  t.nodes_.push_back(std::move(node));
+  t.distances_ = {10};
+  t.synthetic_ = false;
+  t.source_ = "uniform";
+  return t;
+}
+
+HardwareTopology HardwareTopology::synthetic(std::size_t nodes,
+                                             std::size_t cores_per_node) {
+  nodes = std::max<std::size_t>(1, nodes);
+  cores_per_node = std::max<std::size_t>(1, cores_per_node);
+  HardwareTopology t;
+  t.nodes_.reserve(nodes);
+  int cpu = 0;
+  for (std::size_t k = 0; k < nodes; ++k) {
+    Node node;
+    node.cpus.reserve(cores_per_node);
+    for (std::size_t c = 0; c < cores_per_node; ++c) {
+      node.cpus.push_back(cpu++);
+    }
+    t.nodes_.push_back(std::move(node));
+  }
+  t.distances_.assign(nodes * nodes, 21);
+  for (std::size_t k = 0; k < nodes; ++k) t.distances_[k * nodes + k] = 10;
+  t.synthetic_ = true;
+  t.source_ = "SCNET_TOPOLOGY=" + std::to_string(nodes) + "x" +
+              std::to_string(cores_per_node);
+  return t;
+}
+
+HardwareTopology HardwareTopology::detect() {
+  if (const char* env = std::getenv("SCNET_TOPOLOGY")) {
+    if (const auto spec = parse_topology_spec(env)) {
+      return synthetic(spec->first, spec->second);
+    }
+    std::fprintf(stderr,
+                 "SCNET_TOPOLOGY: ignoring malformed spec '%s' "
+                 "(want NxM, e.g. 2x4)\n",
+                 env);
+  }
+  if (auto sysfs = detect_sysfs()) return std::move(*sysfs);
+  return uniform(std::max<unsigned>(1, std::thread::hardware_concurrency()));
+}
+
+const HardwareTopology& HardwareTopology::shared() {
+  static const HardwareTopology topology = detect();
+  return topology;
+}
+
+std::size_t HardwareTopology::total_cores() const {
+  std::size_t total = 0;
+  for (const Node& node : nodes_) total += node.cpus.size();
+  return total;
+}
+
+double HardwareTopology::remote_penalty() const {
+  if (nodes_.size() <= 1) return 1.0;
+  unsigned local = 10;
+  unsigned remote = 10;
+  const std::size_t n = nodes_.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const unsigned d = distances_[a * n + b];
+      if (a == b) {
+        local = std::max(1u, d);
+      } else {
+        remote = std::max(remote, d);
+      }
+    }
+  }
+  return static_cast<double>(remote) / static_cast<double>(local);
+}
+
+HardwareTopology HardwareTopology::node_view(std::size_t node) const {
+  HardwareTopology t;
+  t.nodes_.push_back(nodes_.at(node));
+  t.distances_ = {distance(node, node)};
+  t.synthetic_ = synthetic_;
+  t.source_ = source_ + ":node" + std::to_string(node);
+  return t;
+}
+
+std::string HardwareTopology::describe() const {
+  std::ostringstream os;
+  os << node_count() << (node_count() == 1 ? " node" : " nodes");
+  if (node_count() > 0) {
+    bool uniform_cores = true;
+    for (const Node& node : nodes_) {
+      uniform_cores = uniform_cores && node.cpus.size() == nodes_[0].cpus.size();
+    }
+    if (uniform_cores) {
+      os << " x " << nodes_[0].cpus.size() << " cores";
+    } else {
+      os << ", " << total_cores() << " cores";
+    }
+  }
+  os << " (" << source_;
+  if (node_count() > 1) {
+    os << ", distance " << distance(0, 0) << "/" << distance(0, 1);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> parse_topology_spec(
+    std::string_view spec) {
+  const std::size_t x = spec.find('x');
+  if (x == std::string_view::npos || x == 0 || x + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  const auto digits = [](std::string_view s) {
+    return !s.empty() &&
+           std::all_of(s.begin(), s.end(), [](unsigned char c) {
+             return std::isdigit(c) != 0;
+           });
+  };
+  const std::string_view left = spec.substr(0, x);
+  const std::string_view right = spec.substr(x + 1);
+  if (!digits(left) || !digits(right)) return std::nullopt;
+  const std::size_t nodes = std::strtoul(std::string(left).c_str(), nullptr, 10);
+  const std::size_t cores =
+      std::strtoul(std::string(right).c_str(), nullptr, 10);
+  if (nodes == 0 || cores == 0 || nodes > 1024 || cores > 4096) {
+    return std::nullopt;
+  }
+  return std::make_pair(nodes, cores);
+}
+
+std::vector<std::size_t> split_workers(std::size_t workers,
+                                       const HardwareTopology& topology) {
+  const std::size_t n = topology.node_count();
+  std::vector<std::size_t> groups(n, 0);
+  if (n == 0 || workers == 0) return groups;
+  if (n == 1) {
+    groups[0] = workers;
+    return groups;
+  }
+  const std::size_t cores = std::max<std::size_t>(1, topology.total_cores());
+  // Largest-remainder apportionment by core count, ties to lower node ids.
+  std::size_t assigned = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> remainders;  // (-rem, node)
+  remainders.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t share = workers * topology.node_cores(k);
+    groups[k] = share / cores;
+    assigned += groups[k];
+    remainders.emplace_back(cores - share % cores, k);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  for (std::size_t i = 0; assigned < workers; ++i) {
+    ++groups[remainders[i % n].second];
+    ++assigned;
+  }
+  // Every node hosts at least one worker when there are enough workers to
+  // go around; a starved group would idle its node's cache entirely.
+  if (workers >= n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      while (groups[k] == 0) {
+        const auto richest = std::max_element(groups.begin(), groups.end());
+        if (*richest <= 1) break;
+        --*richest;
+        ++groups[k];
+      }
+    }
+  }
+  return groups;
+}
+
+}  // namespace scn::topo

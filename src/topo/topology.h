@@ -1,0 +1,121 @@
+// Hardware topology: the machine's sockets/NUMA nodes and their cores,
+// with inter-node distances, as one explicit value type the execution
+// substrate (perf/thread_pool), the engine's threaded backend, the shard
+// manager and the planner all consume.
+//
+// The paper's width-vs-contention tension (§1) plays out on real hardware
+// as core-vs-socket locality: two workers on one node share a last-level
+// cache and a memory controller, two workers on different nodes pay the
+// interconnect on every shared line. Treating all cores as uniform — what
+// the thread pool and the sharded service did before this layer — is the
+// same modeling error as treating all balancers as free.
+//
+// Three sources, tried in order by detect():
+//   1. SCNET_TOPOLOGY="NxM": a synthetic topology of N nodes x M cores,
+//      uniform distances (10 local / 21 remote, the classic SLIT values).
+//      This makes CI deterministic: single-node runners exercise every
+//      multi-node code path under SCNET_TOPOLOGY=2x4. Synthetic cpu ids
+//      are virtual — consumers must not pin threads to them (is_synthetic).
+//   2. sysfs: /sys/devices/system/node/node<k>/{cpulist,distance}, the
+//      kernel's NUMA view (Linux only; silently absent elsewhere).
+//   3. uniform fallback: one node holding hardware_concurrency cores.
+//
+// A HardwareTopology is immutable after construction and cheap to copy;
+// shared() memoizes one process-wide detect() so every subsystem sees the
+// same machine (and one SCNET_TOPOLOGY read governs the process, matching
+// the resolve-once convention of Runtime::Options).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scn::topo {
+
+class HardwareTopology {
+ public:
+  /// One NUMA node / socket: the cpu ids the kernel lists for it. For
+  /// synthetic topologies the ids are virtual (dense, node-major) and only
+  /// meaningful as counts.
+  struct Node {
+    std::vector<int> cpus;
+  };
+
+  /// Single uniform node of `cores` cores (the no-NUMA fallback; also the
+  /// correct model for any machine sysfs says nothing about).
+  [[nodiscard]] static HardwareTopology uniform(std::size_t cores);
+
+  /// `nodes` x `cores_per_node` with distances 10 (local) / 21 (remote).
+  /// Marked synthetic: cpu ids are virtual, pinning is skipped.
+  [[nodiscard]] static HardwareTopology synthetic(std::size_t nodes,
+                                                  std::size_t cores_per_node);
+
+  /// SCNET_TOPOLOGY env override, then sysfs, then uniform fallback.
+  [[nodiscard]] static HardwareTopology detect();
+
+  /// Process-wide topology: detect() run once, first use. The pool behind
+  /// Runtime::shared() and every defaulted Options::topology resolve here.
+  [[nodiscard]] static const HardwareTopology& shared();
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t total_cores() const;
+  [[nodiscard]] std::size_t node_cores(std::size_t node) const {
+    return nodes_[node].cpus.size();
+  }
+  [[nodiscard]] const std::vector<int>& node_cpus(std::size_t node) const {
+    return nodes_[node].cpus;
+  }
+
+  /// Kernel-style access distance between nodes (10 == local). The
+  /// distance matrix is symmetric in practice but stored as read.
+  [[nodiscard]] unsigned distance(std::size_t from, std::size_t to) const {
+    return distances_[from * nodes_.size() + to];
+  }
+  /// max remote distance / local distance — the interconnect's cost ratio
+  /// the planner's interconnect term scales by. 1.0 on a single node.
+  [[nodiscard]] double remote_penalty() const;
+
+  /// True when cpu ids are virtual (SCNET_TOPOLOGY): consumers must skip
+  /// pthread_setaffinity_np, the ids name no real cores.
+  [[nodiscard]] bool is_synthetic() const { return synthetic_; }
+  /// Where this topology came from: "uniform", "sysfs",
+  /// "SCNET_TOPOLOGY=NxM", or "<parent>:node<k>" for node_view slices.
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Single-node slice: node `node`'s cores as a one-node topology (the
+  /// shard manager hands these to shard runtimes so a shard's private pool
+  /// stays on its node).
+  [[nodiscard]] HardwareTopology node_view(std::size_t node) const;
+
+  /// One line for logs/rationales: "2 nodes x 4 cores (SCNET_TOPOLOGY=2x4,
+  /// distance 10/21)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  HardwareTopology() = default;
+
+  /// Linux NUMA view (/sys/devices/system/node); nullopt when absent.
+  [[nodiscard]] static std::optional<HardwareTopology> detect_sysfs();
+
+  std::vector<Node> nodes_;
+  std::vector<unsigned> distances_;  // node_count^2, row-major
+  bool synthetic_ = false;
+  std::string source_ = "uniform";
+};
+
+/// Parses an "NxM" spec (N nodes x M cores, both >= 1); nullopt on
+/// anything else. Exposed for tests and the CLI.
+[[nodiscard]] std::optional<std::pair<std::size_t, std::size_t>>
+parse_topology_spec(std::string_view spec);
+
+/// Splits `workers` pool threads into per-node groups proportional to
+/// core counts (largest remainder, ties to lower node ids; every node
+/// gets >= 1 when workers >= node_count). Shared by ThreadPool's worker
+/// groups and the placement solver so the two always agree on sizes.
+[[nodiscard]] std::vector<std::size_t> split_workers(
+    std::size_t workers, const HardwareTopology& topology);
+
+}  // namespace scn::topo

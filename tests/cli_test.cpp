@@ -124,6 +124,49 @@ TEST(Cli, AnalyzeReportsStructure) {
   EXPECT_NE(r.output.find("contention:"), std::string::npos);
 }
 
+TEST(Cli, ExportDotEmitsClusteredGraph) {
+  const auto r = run_command(kCli + " build K 2x3 | " + kCli +
+                             " export --dot");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("digraph \"network\""), std::string::npos);
+  EXPECT_NE(r.output.find("subgraph cluster_l0"), std::string::npos);
+  EXPECT_NE(r.output.find("->"), std::string::npos);
+}
+
+TEST(Cli, ExportContentionOverlayUnderSyntheticTopology) {
+  // The acceptance pipeline: build an L network, trace it, render the heat
+  // overlay — one command, synthetic multi-node machine.
+  const auto r = run_command("SCNET_TOPOLOGY=2x4 " + kCli +
+                             " build L 2x3x2 | SCNET_TOPOLOGY=2x4 " + kCli +
+                             " export --dot --overlay=contention "
+                             "--tokens 500 --title heatmap");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("digraph \"heatmap\""), std::string::npos);
+  EXPECT_NE(r.output.find("subgraph cluster_l"), std::string::npos);
+  EXPECT_NE(r.output.find("/oranges9/"), std::string::npos);
+  EXPECT_NE(r.output.find("overlay: 500 tokens traced"), std::string::npos);
+}
+
+TEST(Cli, ExportPlacementOverlayColorsLayers) {
+  const auto r = run_command(kCli + " build K 2x3x2 | SCNET_TOPOLOGY=2x4 " +
+                             kCli + " export --dot --overlay=placement");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("@node0"), std::string::npos);
+  EXPECT_NE(r.output.find("@node1"), std::string::npos);
+  EXPECT_NE(r.output.find("overlay: placement on 2 nodes"),
+            std::string::npos);
+}
+
+TEST(Cli, ExportRejectsUnknownOverlayAndMissingFormat) {
+  const auto bad = run_command(kCli + " build K 2x2 | " + kCli +
+                               " export --dot --overlay=wat");
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("valid: none|contention|placement"),
+            std::string::npos);
+  const auto none = run_command(kCli + " build K 2x2 | " + kCli + " export");
+  EXPECT_EQ(none.exit_code, 2);
+}
+
 TEST(Cli, SvgIsEmitted) {
   const auto r = run_command(kCli + " build bitonic 8 | " + kCli + " svg");
   EXPECT_EQ(r.exit_code, 0);

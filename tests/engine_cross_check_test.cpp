@@ -26,6 +26,7 @@
 #include "sim/event_sim.h"
 #include "sim/manual_router.h"
 #include "sim/token_sim.h"
+#include "topo/topology.h"
 
 namespace scn {
 namespace {
@@ -190,6 +191,52 @@ TEST(EngineCrossCheck, AllBackendsBitIdenticalToScalar) {
       ASSERT_EQ(engine::count_batch(plan, inputs, rt, EngineBackend::kAuto),
                 ref_count)
           << "auto counts, " << lanes << " lanes";
+    }
+  }
+}
+
+TEST(EngineCrossCheck, PlacementOnOffBitIdenticalAcrossBackends) {
+  // Acceptance gate for the placement layer: every backend must produce
+  // bit-identical outputs whether the threaded tier partitions lanes by
+  // PlacementPlan (multi-node runtime, placement on) or blind-stripes
+  // them (placement off). Synthetic 2x2 topology so this holds on any
+  // host, including single-core CI runners.
+  std::mt19937_64 rng(1234);
+  const auto topology = std::make_shared<const topo::HardwareTopology>(
+      topo::HardwareTopology::synthetic(2, 2));
+  Runtime::Options on_opts;
+  on_opts.threads = 4;
+  on_opts.topology = topology;
+  on_opts.placement = true;
+  Runtime rt_on(on_opts);
+  Runtime::Options off_opts = on_opts;
+  off_opts.placement = false;
+  Runtime rt_off(off_opts);
+  for (const Network& net : grid()) {
+    const ExecutionPlan plan = compile_plan(net);
+    for (const std::size_t lanes : {1u, 7u, 33u, 257u}) {
+      std::vector<std::vector<Count>> inputs;
+      inputs.reserve(lanes);
+      for (std::size_t j = 0; j < lanes; ++j) {
+        inputs.push_back(random_count_vector(
+            rng, net.width(), 1 + static_cast<Count>(rng() % 200)));
+      }
+      for (const EngineBackend b : engine::registered_backends()) {
+        ASSERT_EQ(engine::sort_batch(plan, inputs, rt_on, b),
+                  engine::sort_batch(plan, inputs, rt_off, b))
+            << to_string(b) << " sort, " << lanes << " lanes, width "
+            << net.width();
+        ASSERT_EQ(engine::count_batch(plan, inputs, rt_on, b),
+                  engine::count_batch(plan, inputs, rt_off, b))
+            << to_string(b) << " counts, " << lanes << " lanes, width "
+            << net.width();
+      }
+      // And both agree with the scalar reference on a private runtime.
+      Runtime rt_ref;
+      ASSERT_EQ(
+          engine::sort_batch(plan, inputs, rt_on, EngineBackend::kThreaded),
+          engine::sort_batch(plan, inputs, rt_ref, EngineBackend::kScalar))
+          << "placed threaded vs scalar, " << lanes << " lanes";
     }
   }
 }

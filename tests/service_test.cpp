@@ -18,6 +18,7 @@
 #include "service/front_end.h"
 #include "service/saturate.h"
 #include "service/shard_manager.h"
+#include "topo/topology.h"
 #include "verify/checkers.h"
 
 namespace scn {
@@ -71,8 +72,12 @@ TEST(ShardManagerTest, MultiThreadLinearity) {
 
 TEST(ShardManagerTest, ActiveShardsShareRoundRobin) {
   Runtime rt;
+  // Pin the dispatch offset: this test asserts per-shard totals, and the
+  // default offset is randomized per manager (see DispatchOffset tests).
   ShardManager service(
-      ShardManager::Options{.shards = 4, .initial_active = 2}, rt);
+      ShardManager::Options{
+          .shards = 4, .initial_active = 2, .dispatch_offset = 0},
+      rt);
   EXPECT_EQ(service.active_shards(), 2u);
   for (int i = 0; i < 101; ++i) (void)service.next();
   // ceil(101/2) and ceil(100/2): the step property across shards.
@@ -92,6 +97,55 @@ TEST(ShardManagerTest, ActiveShardsShareRoundRobin) {
   EXPECT_TRUE(service.verify_linearity().ok);
 }
 
+TEST(ShardManagerTest, DispatchOffsetDisjointFirstDispatch) {
+  // Two front ends with different offsets must land their first dispatch
+  // on different shards — the point of randomizing the start shard — while
+  // both stay linear: the offset moves WHICH shard serves a residue class,
+  // never the value composition.
+  Runtime rt;
+  ShardManager a(ShardManager::Options{.shards = 3, .dispatch_offset = 0},
+                 rt);
+  ShardManager b(ShardManager::Options{.shards = 3, .dispatch_offset = 1},
+                 rt);
+  EXPECT_EQ(a.next(), 0u);
+  EXPECT_EQ(b.next(), 0u);
+  a.quiesce();
+  b.quiesce();
+  // Ticket 0 routes to shard (0 + offset) % 3.
+  auto first_shard = [](const ShardManager& m) {
+    for (std::size_t j = 0; j < m.shard_count(); ++j) {
+      std::uint64_t total = 0;
+      for (const Count c : m.shard_output_counts(j)) {
+        total += static_cast<std::uint64_t>(c);
+      }
+      if (total > 0) return j;
+    }
+    return m.shard_count();
+  };
+  EXPECT_EQ(first_shard(a), 0u);
+  EXPECT_EQ(first_shard(b), 1u);
+  for (int i = 0; i < 200; ++i) {
+    (void)a.next();
+    (void)b.next();
+  }
+  a.quiesce();
+  b.quiesce();
+  EXPECT_TRUE(a.verify_linearity().ok);
+  EXPECT_TRUE(b.verify_linearity().ok);
+}
+
+TEST(ShardManagerTest, RandomizedOffsetStaysLinear) {
+  // The default (randomized) offset must never affect correctness; the
+  // accessor reports whatever was drawn.
+  Runtime rt;
+  ShardManager service(ShardManager::Options{.shards = 3}, rt);
+  for (int i = 0; i < 301; ++i) (void)service.next();
+  service.quiesce();
+  const auto report = service.verify_linearity();
+  EXPECT_TRUE(report.ok)
+      << "offset " << service.dispatch_offset() << ": " << report.detail;
+}
+
 TEST(ShardManagerTest, PerShardOutputsKeepStepProperty) {
   Runtime rt;
   ShardManager service(ShardManager::Options{.shards = 2}, rt);
@@ -99,6 +153,43 @@ TEST(ShardManagerTest, PerShardOutputsKeepStepProperty) {
   for (std::size_t j = 0; j < service.shard_count(); ++j) {
     EXPECT_TRUE(is_exact_step_output(service.shard_output_counts(j)))
         << "shard " << j;
+  }
+}
+
+TEST(ShardManagerTest, NodeAffinePlacementSpreadsShardsAcrossNodes) {
+  // On a synthetic 2x4 machine, 4 shards must land 2 per node with every
+  // prefix balanced (the elastic active set is always a prefix), and the
+  // composition must stay linear with node-affine shard runtimes.
+  Runtime::Options rt_opts;
+  rt_opts.topology = std::make_shared<const topo::HardwareTopology>(
+      topo::HardwareTopology::synthetic(2, 4));
+  Runtime rt(rt_opts);
+  ShardManager service(
+      ShardManager::Options{.shards = 4, .dispatch_offset = 0}, rt);
+  std::size_t per_node[2] = {0, 0};
+  for (std::size_t j = 0; j < service.shard_count(); ++j) {
+    ASSERT_LT(service.shard_node(j), 2u);
+    ++per_node[service.shard_node(j)];
+  }
+  EXPECT_EQ(per_node[0], 2u);
+  EXPECT_EQ(per_node[1], 2u);
+  // Prefix balance: the first two shards are on different nodes.
+  EXPECT_NE(service.shard_node(0), service.shard_node(1));
+  for (int i = 0; i < 100; ++i) (void)service.next();
+  service.quiesce();
+  const auto report = service.verify_linearity();
+  EXPECT_TRUE(report.ok) << report.detail;
+}
+
+TEST(ShardManagerTest, NodeAffineOffKeepsEveryShardOnNodeZero) {
+  Runtime::Options rt_opts;
+  rt_opts.topology = std::make_shared<const topo::HardwareTopology>(
+      topo::HardwareTopology::synthetic(2, 4));
+  Runtime rt(rt_opts);
+  ShardManager service(
+      ShardManager::Options{.shards = 4, .node_affine = false}, rt);
+  for (std::size_t j = 0; j < service.shard_count(); ++j) {
+    EXPECT_EQ(service.shard_node(j), 0u);
   }
 }
 
